@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark harnesses: environment
+ * knobs for runtime vs fidelity, and small printing utilities.
+ *
+ * Environment variables:
+ *   ISOL_BENCH_QUICK=1   coarser sweeps and shorter runs (CI-friendly)
+ */
+
+#ifndef ISOL_BENCH_BENCH_UTIL_HH
+#define ISOL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/types.hh"
+
+namespace isol::bench
+{
+
+/** True when quick mode is requested via ISOL_BENCH_QUICK. */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("ISOL_BENCH_QUICK");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/** Print a section banner so bench output is easy to navigate. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Format GiB/s with two decimals. */
+inline std::string
+gibs(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+    return buf;
+}
+
+/** Format microseconds with one decimal. */
+inline std::string
+micros(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    return buf;
+}
+
+/** Format a ratio as a percentage with one decimal. */
+inline std::string
+percent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+} // namespace isol::bench
+
+#endif // ISOL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Calibration probe: prints the simulator's key operating points next to
+ * the paper's measured values so model constants can be tuned. Not a
+ * paper figure itself — a development and regression tool.
+ */
+
+#include <cstdio>
+
+#include "isolbench/d1_overhead.hh"
+#include "isolbench/scenario.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+int
+main()
+{
+    stats::Table table({"metric", "paper", "simulated"});
+    D1Options opts;
+
+    // --- LC-app latency (Fig. 3) ---
+    auto none1 = runLcScaling(Knob::kNone, 1, opts);
+    auto mq1 = runLcScaling(Knob::kMqDeadline, 1, opts);
+    auto bfq1 = runLcScaling(Knob::kBfq, 1, opts);
+    table.addRow({"LC x1 none P99 (us)", "~90-120",
+                  std::to_string(none1.p99_us)});
+    table.addRow({"LC x1 mq-dl P99 delta", "+7.55%",
+                  std::to_string((mq1.p99_us / none1.p99_us - 1) * 100) +
+                      "%"});
+    table.addRow({"LC x1 bfq P99 delta", "+18.87%",
+                  std::to_string((bfq1.p99_us / none1.p99_us - 1) * 100) +
+                      "%"});
+
+    auto none16 = runLcScaling(Knob::kNone, 16, opts);
+    auto cost16 = runLcScaling(Knob::kIoCost, 16, opts);
+    table.addRow({"LC x16 none P99 (us)", "181.2",
+                  std::to_string(none16.p99_us)});
+    table.addRow({"LC x16 io.cost P99 (us)", "268.3",
+                  std::to_string(cost16.p99_us)});
+
+    auto none8 = runLcScaling(Knob::kNone, 8, opts);
+    auto cost8 = runLcScaling(Knob::kIoCost, 8, opts);
+    table.addRow({"LC x8 none CPU", "78.22%",
+                  std::to_string(none8.cpu_util * 100) + "%"});
+    table.addRow({"LC x8 io.cost CPU", "80.27%",
+                  std::to_string(cost8.cpu_util * 100) + "%"});
+
+    // --- Batch bandwidth (Fig. 4) ---
+    auto bnone1 = runBatchScaling(Knob::kNone, 17, 1, opts);
+    auto bmq1 = runBatchScaling(Knob::kMqDeadline, 17, 1, opts);
+    auto bbfq1 = runBatchScaling(Knob::kBfq, 17, 1, opts);
+    table.addRow({"batch x17 1ssd none GiB/s", "2.94",
+                  std::to_string(bnone1.agg_gibs)});
+    table.addRow({"batch x17 1ssd mq-dl GiB/s", "1.81",
+                  std::to_string(bmq1.agg_gibs)});
+    table.addRow({"batch x17 1ssd bfq GiB/s", "0.69",
+                  std::to_string(bbfq1.agg_gibs)});
+
+    auto bnone7 = runBatchScaling(Knob::kNone, 17, 7, opts);
+    auto bmq7 = runBatchScaling(Knob::kMqDeadline, 17, 7, opts);
+    auto bbfq7 = runBatchScaling(Knob::kBfq, 17, 7, opts);
+    auto bmax7 = runBatchScaling(Knob::kIoMax, 17, 7, opts);
+    auto bcost7 = runBatchScaling(Knob::kIoCost, 17, 7, opts);
+    table.addRow({"batch x17 7ssd none GiB/s", "9.87",
+                  std::to_string(bnone7.agg_gibs)});
+    table.addRow({"batch x17 7ssd mq-dl GiB/s", "4.24",
+                  std::to_string(bmq7.agg_gibs)});
+    table.addRow({"batch x17 7ssd bfq GiB/s", "2.14",
+                  std::to_string(bbfq7.agg_gibs)});
+    table.addRow({"batch x17 7ssd io.max GiB/s", "8.94",
+                  std::to_string(bmax7.agg_gibs)});
+    table.addRow({"batch x17 7ssd io.cost GiB/s", "9.32",
+                  std::to_string(bcost7.agg_gibs)});
+
+    std::fputs(table.toAligned().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Ablation study: which io.cost mechanisms produce which observed
+ * behaviours? (DESIGN.md calls these out as load-bearing modelling
+ * decisions; this bench demonstrates each one.)
+ *
+ *  1. hweight donation ON vs OFF: a weight-10000 LC-app next to BE-apps.
+ *     With donation, the LC-app's unused budget flows to the BE group
+ *     (work conservation); without it, aggregate bandwidth collapses.
+ *  2. period timer on-CPU vs free: the paper's O1 io.cost latency
+ *     overhead past CPU saturation exists only when the timer's walk
+ *     over active groups competes for the saturated core.
+ *  3. qos vrate window (min=X): the paper's O3 bandwidth cost of an
+ *     achievable model, swept.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "isolbench/scenario.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+namespace
+{
+
+void
+donationAblation()
+{
+    bench::banner("1. hweight donation: LC-app (io.weight=10000) + 4 "
+                  "BE-apps");
+    stats::Table table({"donation", "LC P99 (us)", "BE GiB/s",
+                        "aggregate GiB/s"});
+    for (bool donation : {true, false}) {
+        ScenarioConfig cfg;
+        cfg.knob = Knob::kIoCost;
+        cfg.num_cores = 10;
+        cfg.duration = msToNs(1500);
+        cfg.warmup = msToNs(400);
+        cfg.iocost_params.enable_donation = donation;
+        Scenario scenario(cfg);
+        uint32_t lc =
+            scenario.addApp(workload::lcApp("lc", cfg.duration), "lc");
+        for (int i = 0; i < 4; ++i) {
+            scenario.addApp(
+                workload::beApp(strCat("be", i), cfg.duration), "be");
+        }
+        scenario.tree().writeFile(scenario.group("lc"), "io.weight",
+                                  "10000");
+        scenario.run();
+        double be_gibs = 0.0;
+        for (uint32_t i = 1; i <= 4; ++i)
+            be_gibs += scenario.appGiBs(i);
+        table.addRow(
+            {donation ? "on (kernel behaviour)" : "off",
+             bench::micros(
+                 nsToUs(scenario.app(lc).latency().percentile(99))),
+             bench::gibs(be_gibs), bench::gibs(scenario.aggregateGiBs())});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+void
+timerAblation()
+{
+    bench::banner("2. period timer as CPU work: 16 LC-apps on one core "
+                  "(O1)");
+    stats::Table table({"timer", "P99 (us)", "CPU util"});
+    for (bool on_cpu : {true, false}) {
+        ScenarioConfig cfg;
+        cfg.knob = Knob::kIoCost;
+        cfg.num_cores = 1;
+        cfg.duration = msToNs(1500);
+        cfg.warmup = msToNs(300);
+        cfg.iocost_achievable_model = false; // D1 overhead config
+        cfg.iocost_timer_on_cpu = on_cpu;
+        Scenario scenario(cfg);
+        for (int i = 0; i < 16; ++i) {
+            scenario.addApp(
+                workload::lcApp(strCat("lc", i), cfg.duration),
+                strCat("lc", i));
+        }
+        scenario.run();
+        stats::Histogram merged;
+        for (uint32_t i = 0; i < 16; ++i)
+            merged.merge(scenario.app(i).latency());
+        table.addRow({on_cpu ? "on CPU (kernel behaviour)" : "free",
+                      bench::micros(nsToUs(merged.percentile(99))),
+                      bench::percent(scenario.cpuUtilization())});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+void
+vrateWindowSweep()
+{
+    bench::banner("3. qos vrate min sweep: 4 cgroups of batch-apps, "
+                  "achievable model (O3)");
+    stats::Table table({"qos min %", "aggregate GiB/s", "vs none"});
+    double none_gibs = 0.0;
+    {
+        ScenarioConfig cfg;
+        cfg.knob = Knob::kNone;
+        cfg.num_cores = 20;
+        cfg.duration = msToNs(1000);
+        cfg.warmup = msToNs(300);
+        Scenario scenario(cfg);
+        for (int g = 0; g < 4; ++g) {
+            for (int a = 0; a < 4; ++a) {
+                scenario.addApp(workload::batchApp(
+                                    strCat("g", g, "a", a), cfg.duration),
+                                strCat("g", g));
+            }
+        }
+        scenario.run();
+        none_gibs = scenario.aggregateGiBs();
+    }
+    for (uint32_t min : {25u, 50u, 75u, 100u}) {
+        ScenarioConfig cfg;
+        cfg.knob = Knob::kIoCost;
+        cfg.num_cores = 20;
+        cfg.duration = msToNs(1000);
+        cfg.warmup = msToNs(300);
+        Scenario scenario(cfg);
+        for (int g = 0; g < 4; ++g) {
+            for (int a = 0; a < 4; ++a) {
+                scenario.addApp(workload::batchApp(
+                                    strCat("g", g, "a", a), cfg.duration),
+                                strCat("g", g));
+            }
+        }
+        cgroup::IoCostQos qos = paperCostQos();
+        qos.vrate_min = min;
+        scenario.tree().setCostQos(0, qos);
+        scenario.run();
+        double gibs = scenario.aggregateGiBs();
+        table.addRow({strCat(min), bench::gibs(gibs),
+                      bench::percent(gibs / none_gibs)});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: io.cost mechanism components\n");
+    donationAblation();
+    timerAblation();
+    vrateWindowSweep();
+    return 0;
+}

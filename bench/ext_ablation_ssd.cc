@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Ablation study: SSD model parameters that drive the paper's flash
+ * idiosyncrasies.
+ *
+ *  1. overprovisioning sweep: WAF and sustained random-write bandwidth
+ *     (why GC hurts more on fuller drives);
+ *  2. write-cache size sweep: write burst absorption vs backpressure;
+ *  3. flush-pressure arbitration: read latency under a write flood with
+ *     the controller's read-preference ratio swept (implicitly, by
+ *     cache size: a tiny cache is always under pressure).
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/strings.hh"
+#include "sim/simulator.hh"
+#include "ssd/config.hh"
+#include "ssd/device.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+
+namespace
+{
+
+ssd::SsdConfig
+smallFlash()
+{
+    ssd::SsdConfig cfg = ssd::samsung980ProLike();
+    cfg.user_capacity = 512 * MiB;
+    cfg.channels = 4;
+    cfg.dies_per_channel = 4;
+    return cfg;
+}
+
+void
+overprovisionSweep()
+{
+    bench::banner("1. overprovisioning vs WAF and sustained write "
+                  "bandwidth");
+    stats::Table table({"OP", "write MiB/s", "WAF", "erases/s"});
+    for (double op : {0.10, 0.20, 0.28, 0.40}) {
+        sim::Simulator sim;
+        ssd::SsdConfig cfg = smallFlash();
+        cfg.overprovision = op;
+        ssd::SsdDevice dev(sim, cfg, 3);
+        dev.precondition(1.0, 2.0);
+        Rng rng(3);
+        uint64_t bytes = 0;
+        const SimTime dur = secToNs(int64_t{2});
+        std::function<void()> loop = [&] {
+            uint64_t off = rng.below(cfg.user_capacity / 4096) * 4096;
+            dev.submit(OpType::kWrite, off, 4096, [&] {
+                bytes += 4096;
+                if (sim.now() < dur)
+                    loop();
+            });
+        };
+        for (int i = 0; i < 256; ++i)
+            loop();
+        sim.runUntil(dur);
+        table.addRow(
+            {formatDouble(op, 2),
+             formatDouble(bytesOverNsToMiBs(bytes, dur), 0),
+             formatDouble(dev.waf(), 2),
+             formatDouble(static_cast<double>(dev.blocksErased()) /
+                              nsToSec(dur), 0)});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+void
+writeCacheSweep()
+{
+    bench::banner("2. write-cache size vs burst write latency");
+    stats::Table table({"cache pages", "burst P50 (us)", "burst P99 (us)"});
+    for (uint32_t cache : {64u, 256u, 1024u, 4096u}) {
+        sim::Simulator sim;
+        ssd::SsdConfig cfg = smallFlash();
+        cfg.write_cache_pages = cache;
+        ssd::SsdDevice dev(sim, cfg, 7);
+        dev.precondition(1.0, 1.0);
+        Rng rng(7);
+        stats::Histogram lat;
+        // A 2048-page burst at t=0.
+        for (int i = 0; i < 2048; ++i) {
+            uint64_t off = rng.below(cfg.user_capacity / 4096) * 4096;
+            SimTime start = sim.now();
+            dev.submit(OpType::kWrite, off, 4096,
+                       [&, start] { lat.record(sim.now() - start); });
+        }
+        sim.runUntil(secToNs(int64_t{2}));
+        table.addRow({strCat(cache),
+                      bench::micros(nsToUs(lat.percentile(50))),
+                      bench::micros(nsToUs(lat.percentile(99)))});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+void
+floodReadLatency()
+{
+    bench::banner("3. read P99 under a sustained write flood");
+    stats::Table table({"write flood", "read P50 (us)", "read P99 (us)",
+                        "read MiB/s"});
+    for (bool flood : {false, true}) {
+        sim::Simulator sim;
+        ssd::SsdConfig cfg = smallFlash();
+        ssd::SsdDevice dev(sim, cfg, 11);
+        dev.precondition(1.0, 2.0);
+        Rng rng(11);
+        stats::Histogram lat;
+        uint64_t read_bytes = 0;
+        const SimTime dur = secToNs(int64_t{2});
+
+        std::function<void()> read_loop = [&] {
+            uint64_t off = rng.below(cfg.user_capacity / 4096) * 4096;
+            SimTime start = sim.now();
+            dev.submit(OpType::kRead, off, 4096, [&, start] {
+                lat.record(sim.now() - start);
+                read_bytes += 4096;
+                if (sim.now() < dur)
+                    read_loop();
+            });
+        };
+        std::function<void()> write_loop = [&] {
+            uint64_t off = rng.below(cfg.user_capacity / 4096) * 4096;
+            dev.submit(OpType::kWrite, off, 4096, [&] {
+                if (sim.now() < dur)
+                    write_loop();
+            });
+        };
+        for (int i = 0; i < 16; ++i)
+            read_loop();
+        if (flood) {
+            for (int i = 0; i < 512; ++i)
+                write_loop();
+        }
+        sim.runUntil(dur);
+        table.addRow({flood ? "yes" : "no",
+                      bench::micros(nsToUs(lat.percentile(50))),
+                      bench::micros(nsToUs(lat.percentile(99))),
+                      formatDouble(bytesOverNsToMiBs(read_bytes, dur),
+                                   0)});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: SSD model parameters\n");
+    overprovisionSweep();
+    writeCacheSweep();
+    floodReadLatency();
+    return 0;
+}

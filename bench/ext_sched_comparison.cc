@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Extension: NVMe-era I/O scheduler comparison (none, MQ-Deadline, BFQ,
+ * Kyber), replicating the scheduler-characterization methodology of the
+ * paper's related work ([75], Ren et al., ICPE'24). Not a paper figure —
+ * Kyber has no cgroup knob and is out of the paper's scope — but a
+ * natural companion study isol-bench-sim supports.
+ *
+ * Three views:
+ *  1. single LC-app P99 (scheduler overhead at QD1);
+ *  2. batch bandwidth scalability on one SSD;
+ *  3. read tail latency while a writer floods the device — Kyber's
+ *     reason to exist (it throttles writes to protect reads).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "isolbench/scenario.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+namespace
+{
+
+constexpr Knob kScheds[] = {Knob::kNone, Knob::kMqDeadline, Knob::kBfq,
+                            Knob::kKyber};
+
+void
+overheadView()
+{
+    bench::banner("LC-app P99 at QD1 (scheduler overhead)");
+    stats::Table table({"scheduler", "P50 (us)", "P99 (us)"});
+    for (Knob knob : kScheds) {
+        ScenarioConfig cfg;
+        cfg.knob = knob;
+        cfg.num_cores = 1;
+        cfg.duration = msToNs(1200);
+        cfg.warmup = msToNs(300);
+        Scenario scenario(cfg);
+        uint32_t lc =
+            scenario.addApp(workload::lcApp("lc", cfg.duration), "lc");
+        scenario.run();
+        table.addRow(
+            {knobName(knob),
+             bench::micros(nsToUs(scenario.app(lc).latency().percentile(50))),
+             bench::micros(
+                 nsToUs(scenario.app(lc).latency().percentile(99)))});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+void
+bandwidthView()
+{
+    bench::banner("batch-app bandwidth scalability, 1 SSD, 10 cores");
+    stats::Table table({"apps", "none", "mq-deadline", "bfq", "kyber"});
+    for (uint32_t apps : {1u, 4u, 8u, 16u}) {
+        std::vector<std::string> row = {strCat(apps)};
+        for (Knob knob : kScheds) {
+            ScenarioConfig cfg;
+            cfg.knob = knob;
+            cfg.num_cores = 10;
+            cfg.duration = msToNs(1000);
+            cfg.warmup = msToNs(250);
+            Scenario scenario(cfg);
+            for (uint32_t i = 0; i < apps; ++i) {
+                scenario.addApp(
+                    workload::batchApp(strCat("b", i), cfg.duration),
+                    strCat("b", i));
+            }
+            scenario.run();
+            row.push_back(bench::gibs(scenario.aggregateGiBs()));
+        }
+        table.addRow(row);
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+void
+writeFloodView()
+{
+    bench::banner("read P99 under a 4 KiB random-write flood "
+                  "(Kyber's target case)");
+    stats::Table table({"scheduler", "read P99 (us)", "read GiB/s",
+                        "write GiB/s"});
+    for (Knob knob : kScheds) {
+        ScenarioConfig cfg;
+        cfg.knob = knob;
+        cfg.num_cores = 10;
+        cfg.duration = secToNs(int64_t{3});
+        cfg.warmup = secToNs(int64_t{1});
+        cfg.precondition = true;
+        Scenario scenario(cfg);
+        uint32_t reader = scenario.addApp(
+            workload::lcApp("reader", cfg.duration), "reader");
+        workload::JobSpec writer =
+            workload::batchApp("writer", cfg.duration);
+        writer.op = OpType::kWrite;
+        writer.read_fraction = 0.0;
+        uint32_t w = scenario.addApp(std::move(writer), "writer");
+        scenario.run();
+        table.addRow(
+            {knobName(knob),
+             bench::micros(
+                 nsToUs(scenario.app(reader).latency().percentile(99))),
+             bench::gibs(scenario.appGiBs(reader)),
+             bench::gibs(scenario.appGiBs(w))});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Extension: Linux NVMe scheduler comparison "
+                "(none / mq-deadline / bfq / kyber)\n");
+    overheadView();
+    bandwidthView();
+    writeFloodView();
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Reproduces Fig. 2: illustrative bandwidth-over-time examples of every
+ * cgroups I/O control knob with three identical fio apps.
+ *
+ * Paper setup: apps A/B/C, 64 KiB random reads at QD 8, each rate-limited
+ * to 1.5 GiB/s; A runs 0-50 s, B 10-70 s, C 20-50 s. We compress the
+ * timeline 10:1 (A 0-5 s, B 1-7 s, C 2-5 s) — steady states are reached
+ * in well under a second, so the shapes are preserved.
+ *
+ * Panels: (a) none, (b) MQ-DL + io.prio.class, (c) BFQ uniform weights,
+ * (d) BFQ differing weights, (e) io.max, (f) io.latency, (g) io.cost
+ * without weights, (h) io.cost + io.weight.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "isolbench/scenario.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+namespace
+{
+
+constexpr SimTime kAStart = 0;
+constexpr SimTime kADur = secToNs(int64_t{5});
+constexpr SimTime kBStart = secToNs(int64_t{1});
+constexpr SimTime kBDur = secToNs(int64_t{6});
+constexpr SimTime kCStart = secToNs(int64_t{2});
+constexpr SimTime kCDur = secToNs(int64_t{3});
+constexpr SimTime kTotal = secToNs(int64_t{7});
+
+struct Panel
+{
+    const char *name;
+    Knob knob;
+    std::function<void(Scenario &)> configure;
+    /**
+     * Timeline stretch relative to the 10:1-compressed base. io.latency
+     * throttles by halving QD once per (real) 500 ms window, so its
+     * panel needs a longer timeline for the mechanism to play out.
+     */
+    int stretch = 1;
+};
+
+void
+runPanel(const Panel &panel)
+{
+    ScenarioConfig cfg;
+    cfg.name = panel.name;
+    cfg.knob = panel.knob;
+    cfg.num_cores = 10;
+    cfg.duration = kTotal * panel.stretch;
+    cfg.warmup = msToNs(1); // the whole timeline is the result
+    Scenario scenario(cfg);
+
+    SimTime bin = msToNs(250) * panel.stretch;
+    auto add = [&](const char *name, SimTime start, SimTime dur) {
+        workload::JobSpec spec = workload::fig2App(
+            name, start * panel.stretch, dur * panel.stretch);
+        spec.stats_bin = bin;
+        return scenario.addApp(std::move(spec), name);
+    };
+    uint32_t a = add("A", kAStart, kADur);
+    uint32_t b = add("B", kBStart, kBDur);
+    uint32_t c = add("C", kCStart, kCDur);
+
+    if (panel.configure)
+        panel.configure(scenario);
+    scenario.run();
+
+    bench::banner(panel.name);
+    stats::Table table({"t(s)", "A(MiB/s)", "B(MiB/s)", "C(MiB/s)"});
+    auto rate_a = scenario.app(a).bandwidthSeries().ratePerSecond();
+    auto rate_b = scenario.app(b).bandwidthSeries().ratePerSecond();
+    auto rate_c = scenario.app(c).bandwidthSeries().ratePerSecond();
+    size_t bins = static_cast<size_t>(cfg.duration / bin);
+    auto mibs = [](const std::vector<double> &rates, size_t i) {
+        double rate = i < rates.size() ? rates[i] : 0.0;
+        return isol::formatDouble(rate / static_cast<double>(MiB), 0);
+    };
+    for (size_t i = 0; i < bins; ++i) {
+        table.addRow({isol::formatDouble(
+                          0.25 * panel.stretch * (i + 1), 2),
+                      mibs(rate_a, i), mibs(rate_b, i), mibs(rate_c, i)});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Fig. 2: cgroups I/O control knob examples "
+                "(timeline compressed 10:1; A 0-5s, B 1-7s, C 2-5s)\n");
+
+    std::vector<Panel> panels;
+    panels.push_back({"(a) none", Knob::kNone, nullptr});
+    panels.push_back({"(b) MQ-DL + io.prio.class (A=rt B=be C=idle)",
+                      Knob::kMqDeadline, [](Scenario &s) {
+                          s.tree().writeFile(s.group("A"), "io.prio.class",
+                                             "promote-to-rt");
+                          s.tree().writeFile(s.group("B"), "io.prio.class",
+                                             "best-effort");
+                          s.tree().writeFile(s.group("C"), "io.prio.class",
+                                             "idle");
+                      }});
+    panels.push_back({"(c) BFQ, uniform io.bfq.weight", Knob::kBfq,
+                      nullptr});
+    panels.push_back({"(d) BFQ, io.bfq.weight A=400 B=200 C=100",
+                      Knob::kBfq, [](Scenario &s) {
+                          s.tree().writeFile(s.group("A"),
+                                             "io.bfq.weight", "400");
+                          s.tree().writeFile(s.group("B"),
+                                             "io.bfq.weight", "200");
+                          s.tree().writeFile(s.group("C"),
+                                             "io.bfq.weight", "100");
+                      }});
+    panels.push_back({"(e) io.max (1 GiB/s per app)", Knob::kIoMax,
+                      [](Scenario &s) {
+                          for (const char *g : {"A", "B", "C"}) {
+                              s.tree().writeFile(
+                                  s.group(g), "io.max",
+                                  strCat("259:0 rbps=", GiB));
+                          }
+                      }});
+    panels.push_back({"(f) io.latency (A target=300us; timeline 4x "
+                      "longer: QD halves once per 500ms window)",
+                      Knob::kIoLatency,
+                      [](Scenario &s) {
+                          s.tree().writeFile(s.group("A"), "io.latency",
+                                             "259:0 target=300");
+                      },
+                      /*stretch=*/4});
+    panels.push_back({"(g) io.cost, uniform io.weight", Knob::kIoCost,
+                      nullptr});
+    panels.push_back({"(h) io.cost, io.weight A=1000 B=500 C=100",
+                      Knob::kIoCost, [](Scenario &s) {
+                          s.tree().writeFile(s.group("A"), "io.weight",
+                                             "1000");
+                          s.tree().writeFile(s.group("B"), "io.weight",
+                                             "500");
+                          s.tree().writeFile(s.group("C"), "io.weight",
+                                             "100");
+                      }});
+
+    for (const Panel &panel : panels)
+        runPanel(panel);
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces Fig. 3 (Q1): cgroups latency and CPU overhead when scaling
+ * from 1 to 256 LC-apps on a single CPU core.
+ *
+ * Panels (a-c): completion-latency CDFs with annotated P99 for 1, 16 and
+ * 256 co-located LC-apps. Panel (d): single-core CPU utilisation vs the
+ * number of LC-apps. Also prints the §V profile numbers (context
+ * switches per I/O).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "isolbench/d1_overhead.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+namespace
+{
+
+void
+printCdf(const LcScalingResult &res)
+{
+    // Decimate the CDF to ~18 probability points for readable output.
+    std::printf("  %-12s P99=%sus CDF:", knobName(res.knob),
+                bench::micros(res.p99_us).c_str());
+    double next_prob = 0.05;
+    for (auto [us, prob] : res.cdf) {
+        if (prob + 1e-12 >= next_prob) {
+            std::printf(" %.0fus@%.2f", us, prob);
+            while (next_prob <= prob)
+                next_prob += 0.05;
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bool quick = bench::quickMode();
+    D1Options opts;
+    if (quick) {
+        opts.duration = msToNs(800);
+        opts.warmup = msToNs(200);
+    }
+
+    std::printf("Fig. 3: latency and CPU overhead, 1-256 LC-apps on one "
+                "core\n");
+
+    // Panels (a)-(c): CDFs at 1, 16, 256 apps.
+    for (uint32_t apps : {1u, 16u, 256u}) {
+        bench::banner(strCat("Fig. 3(", apps == 1 ? "a" : apps == 16
+                             ? "b" : "c", "): CDF with ", apps,
+                             " LC-app(s)"));
+        for (Knob knob : kAllKnobs) {
+            LcScalingResult res = runLcScaling(knob, apps, opts);
+            printCdf(res);
+        }
+    }
+
+    // Panel (d): CPU utilisation vs number of apps.
+    bench::banner("Fig. 3(d): single-core CPU utilisation vs #LC-apps");
+    std::vector<uint32_t> counts = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+    if (quick)
+        counts = {1, 4, 16, 64, 256};
+    stats::Table cpu({"apps", "none", "mq-deadline", "bfq", "io.max",
+                      "io.latency", "io.cost"});
+    stats::Table p99({"apps", "none", "mq-deadline", "bfq", "io.max",
+                      "io.latency", "io.cost"});
+    stats::Table ctx({"apps", "none", "mq-deadline", "bfq", "io.max",
+                      "io.latency", "io.cost"});
+    for (uint32_t apps : counts) {
+        std::vector<std::string> cpu_row = {strCat(apps)};
+        std::vector<std::string> p99_row = {strCat(apps)};
+        std::vector<std::string> ctx_row = {strCat(apps)};
+        for (Knob knob : kAllKnobs) {
+            LcScalingResult res = runLcScaling(knob, apps, opts);
+            cpu_row.push_back(bench::percent(res.cpu_util));
+            p99_row.push_back(bench::micros(res.p99_us));
+            ctx_row.push_back(isol::formatDouble(res.ctx_per_io, 2));
+        }
+        cpu.addRow(cpu_row);
+        p99.addRow(p99_row);
+        ctx.addRow(ctx_row);
+    }
+    std::fputs(cpu.toAligned().c_str(), stdout);
+
+    bench::banner("P99 latency (us) vs #LC-apps (red annotations)");
+    std::fputs(p99.toAligned().c_str(), stdout);
+
+    bench::banner("context switches per I/O (sar/fio profile, SS V)");
+    std::fputs(ctx.toAligned().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Fig. 4 (Q2): cgroups bandwidth and CPU scalability when
+ * scaling batch-apps (4 KiB randread QD256) from 1 to 17 on 1 and 7
+ * NVMe SSDs with 10 CPU cores, apps round-robined across SSDs.
+ *
+ * Panels: (a) aggregated bandwidth on 1 SSD, (b) on 7 SSDs,
+ * (c) CPU utilisation on 1 SSD, (d) on 7 SSDs.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "isolbench/d1_overhead.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+int
+main()
+{
+    bool quick = bench::quickMode();
+    D1Options opts;
+    opts.duration = quick ? msToNs(800) : msToNs(1200);
+    opts.warmup = quick ? msToNs(200) : msToNs(300);
+
+    std::printf("Fig. 4: bandwidth and CPU scalability, batch-apps over "
+                "1 and 7 SSDs (10 cores)\n");
+
+    std::vector<uint32_t> counts = {1, 2, 4, 8, 12, 17};
+    if (quick)
+        counts = {1, 4, 17};
+
+    for (uint32_t ssds : {1u, 7u}) {
+        stats::Table bw({"apps", "none", "mq-deadline", "bfq", "io.max",
+                         "io.latency", "io.cost"});
+        stats::Table cpu({"apps", "none", "mq-deadline", "bfq", "io.max",
+                          "io.latency", "io.cost"});
+        for (uint32_t apps : counts) {
+            std::vector<std::string> bw_row = {strCat(apps)};
+            std::vector<std::string> cpu_row = {strCat(apps)};
+            for (Knob knob : kAllKnobs) {
+                BatchScalingResult res =
+                    runBatchScaling(knob, apps, ssds, opts);
+                bw_row.push_back(bench::gibs(res.agg_gibs));
+                cpu_row.push_back(bench::percent(res.cpu_util));
+            }
+            bw.addRow(bw_row);
+            cpu.addRow(cpu_row);
+        }
+        bench::banner(strCat("Fig. 4(", ssds == 1 ? "a" : "b",
+                             "): aggregated bandwidth (GiB/s), ", ssds,
+                             " SSD(s)"));
+        std::fputs(bw.toAligned().c_str(), stdout);
+        bench::banner(strCat("Fig. 4(", ssds == 1 ? "c" : "d",
+                             "): CPU utilisation (10 cores), ", ssds,
+                             " SSD(s)"));
+        std::fputs(cpu.toAligned().c_str(), stdout);
+    }
+    return 0;
+}

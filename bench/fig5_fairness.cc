@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Fig. 5 (Q3/Q4): bandwidth-fairness scalability with uniform
+ * workloads.
+ *
+ * Panels: (a) Jain fairness + aggregated bandwidth, uniform weights,
+ * scaling cgroups 2..8; (b) the same at 16 cgroups (past CPU
+ * saturation); (c)+(d) linearly increasing weights, 2..16 cgroups.
+ * Four batch-apps per cgroup (enough to saturate the SSD); fairness runs
+ * are repeated for a standard deviation, as in the paper.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "isolbench/d2_fairness.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+namespace
+{
+
+void
+runPanel(const char *title, bool weighted,
+         const std::vector<uint32_t> &group_counts,
+         const FairnessOptions &opts)
+{
+    bench::banner(title);
+    stats::Table table({"cgroups", "knob", "jain", "jain-stddev",
+                        "agg GiB/s"});
+    for (uint32_t cgroups : group_counts) {
+        for (Knob knob : kAllKnobs) {
+            FairnessResult res = runFairness(
+                knob, cgroups, weighted, FairnessMix::kUniform, opts);
+            table.addRow({strCat(cgroups), knobName(knob),
+                          isol::formatDouble(res.jain_mean, 3),
+                          isol::formatDouble(res.jain_std, 3),
+                          bench::gibs(res.agg_gibs_mean)});
+        }
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bool quick = bench::quickMode();
+    FairnessOptions opts;
+    opts.repeats = quick ? 1 : 2;
+    opts.duration = quick ? msToNs(800) : msToNs(1200);
+    opts.warmup = quick ? msToNs(250) : msToNs(300);
+
+    std::printf("Fig. 5: bandwidth fairness scalability; uniform "
+                "workload, 4 batch-apps per cgroup\n");
+
+    std::vector<uint32_t> scaling = quick
+        ? std::vector<uint32_t>{2, 8}
+        : std::vector<uint32_t>{2, 4, 8};
+    runPanel("Fig. 5(a): uniform weights, scaling cgroups", false,
+             scaling, opts);
+    runPanel("Fig. 5(b): uniform weights, 16 cgroups (past CPU "
+             "saturation)", false, {16}, opts);
+    runPanel("Fig. 5(c): linearly increasing weights, scaling cgroups",
+             true, scaling, opts);
+    runPanel("Fig. 5(d): linearly increasing weights, 16 cgroups", true,
+             {16}, opts);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 6 (Q5): bandwidth fairness with mixed workloads across
+ * two cgroups:
+ *  (a) half the groups use 256 KiB requests (vs 4 KiB),
+ *  (b) half the groups write 4 KiB randomly (read/write interference +
+ *      garbage collection on a preconditioned device).
+ * The access-pattern mix (random vs sequential) is also reported; the
+ * paper found all knobs fair there and does not plot it.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "isolbench/d2_fairness.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+namespace
+{
+
+void
+runPanel(const char *title, FairnessMix mix, const FairnessOptions &opts)
+{
+    bench::banner(title);
+    stats::Table table({"knob", "jain", "jain-stddev", "agg GiB/s",
+                        "group0 GiB/s", "group1 GiB/s"});
+    for (Knob knob : kAllKnobs) {
+        FairnessResult res = runFairness(knob, 2, false, mix, opts);
+        table.addRow({knobName(knob),
+                      isol::formatDouble(res.jain_mean, 3),
+                      isol::formatDouble(res.jain_std, 3),
+                      bench::gibs(res.agg_gibs_mean),
+                      bench::gibs(res.per_group_gibs.at(0)),
+                      bench::gibs(res.per_group_gibs.at(1))});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bool quick = bench::quickMode();
+    FairnessOptions opts;
+    opts.repeats = quick ? 1 : 3;
+    opts.duration = quick ? msToNs(900) : msToNs(1500);
+    opts.warmup = msToNs(300);
+
+    std::printf("Fig. 6: bandwidth fairness, mixed workloads "
+                "(2 cgroups, 4 apps each)\n");
+
+    runPanel("Fig. 6(a): request size 4 KiB + 256 KiB",
+             FairnessMix::kReqSize, opts);
+    runPanel("Fig. 6(b): random read + write (preconditioned, GC)",
+             FairnessMix::kReadWrite, opts);
+    runPanel("(not plotted in paper) random + sequential access",
+             FairnessMix::kPattern, opts);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Fig. 7 (Q6-Q9): prioritization/utilization trade-offs.
+ *
+ * One priority app (batch-app in panels a-d, LC-app in panels e-h) runs
+ * against 4 BE-apps that saturate the SSD alone. Each knob's
+ * configuration space is swept, producing (aggregate bandwidth,
+ * priority metric) Pareto points:
+ *   (a/e) MQ-DL io.prio.class permutations and BFQ io.bfq.weight sweep,
+ *   (b/f) io.latency target sweep with BE workload variants,
+ *   (c/g) io.max BE-cap sweep with BE workload variants,
+ *   (d/h) io.cost qos sweep with BE workload variants.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "isolbench/d3_tradeoffs.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+namespace
+{
+
+void
+printSweep(Knob knob, PriorityAppKind kind, BeWorkload be,
+           TradeoffOptions opts)
+{
+    bench::banner(strCat(knobName(knob), " / priority=",
+                         priorityAppKindName(kind), " / BE=",
+                         beWorkloadName(be)));
+    // io.latency points run for seconds each (500 ms windows must play
+    // out), so sweep it at half resolution to bound the total runtime.
+    if (knob == Knob::kIoLatency)
+        opts.coarsen *= 2;
+    auto points = runTradeoffSweep(knob, kind, be, opts);
+    stats::Table table({"config", "agg GiB/s",
+                        kind == PriorityAppKind::kBatch ? "prio GiB/s"
+                                                        : "prio P99 us"});
+    for (const auto &p : points) {
+        table.addRow({p.config, bench::gibs(p.agg_gibs),
+                      kind == PriorityAppKind::kBatch
+                          ? bench::gibs(p.priority_gibs)
+                          : bench::micros(p.priority_p99_us)});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bool quick = bench::quickMode();
+    TradeoffOptions opts;
+    opts.coarsen = quick ? 8 : 4;
+    opts.duration = quick ? msToNs(800) : msToNs(1200);
+    opts.warmup = msToNs(250);
+
+    std::printf("Fig. 7: prioritization/utilization trade-off Pareto "
+                "fronts (coarsen=%u)\n", opts.coarsen);
+
+    const std::vector<BeWorkload> variants = {
+        BeWorkload::kRand4k, BeWorkload::kSeq4k, BeWorkload::kRand256k,
+        BeWorkload::kRandWrite4k};
+    const std::vector<BeWorkload> base_only = {BeWorkload::kRand4k};
+
+    for (PriorityAppKind kind :
+         {PriorityAppKind::kBatch, PriorityAppKind::kLc}) {
+        // Panels (a)/(e): the I/O schedulers, base workload only (the
+        // paper stops there given their limited trade-offs, Q6).
+        for (Knob knob : {Knob::kMqDeadline, Knob::kBfq}) {
+            for (BeWorkload be : base_only)
+                printSweep(knob, kind, be, opts);
+        }
+        // Panels (b-d)/(f-h): io.latency, io.max, io.cost across all BE
+        // workload variants.
+        for (Knob knob :
+             {Knob::kIoLatency, Knob::kIoMax, Knob::kIoCost}) {
+            for (BeWorkload be : quick ? base_only : variants)
+                printSweep(knob, kind, be, opts);
+        }
+    }
+    return 0;
+}

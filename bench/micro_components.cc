@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark micro benchmarks for the simulator components: event
+ * queue throughput, histogram recording and percentile queries, FTL
+ * write/GC bookkeeping, iocost accounting, and a small end-to-end
+ * simulation — so performance regressions in the substrate are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "blk/qos_cost.hh"
+#include "cgroup/cgroup.hh"
+#include "common/rng.hh"
+#include "sim/simulator.hh"
+#include "ssd/config.hh"
+#include "ssd/device.hh"
+#include "ssd/ftl.hh"
+#include "stats/histogram.hh"
+
+using namespace isol;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator sim;
+        int fired = 0;
+        for (int i = 0; i < 1024; ++i)
+            sim.at(i * 100, [&fired] { ++fired; });
+        sim.runAll();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventQueueCascade(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator sim;
+        int depth = 0;
+        std::function<void()> chain = [&] {
+            if (++depth < 4096)
+                sim.after(10, chain);
+        };
+        sim.after(10, chain);
+        sim.runAll();
+        benchmark::DoNotOptimize(depth);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EventQueueCascade);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    stats::Histogram hist;
+    Rng rng(1);
+    for (auto _ : state)
+        hist.record(static_cast<int64_t>(rng.below(10000000)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_HistogramPercentile(benchmark::State &state)
+{
+    stats::Histogram hist;
+    Rng rng(1);
+    for (int i = 0; i < 100000; ++i)
+        hist.record(static_cast<int64_t>(rng.below(10000000)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hist.percentile(99.0));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void
+BM_FtlRandomWrite(benchmark::State &state)
+{
+    ssd::SsdConfig cfg = ssd::samsung980ProLike();
+    cfg.user_capacity = 256 * MiB;
+    cfg.channels = 4;
+    cfg.dies_per_channel = 4;
+    ssd::Ftl ftl(cfg);
+    Rng rng(1);
+    ftl.preconditionSequentialFill(1.0);
+    for (auto _ : state)
+        ftl.preconditionRandomOverwrite(1, rng);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FtlRandomWrite);
+
+void
+BM_IoCostAbsCost(benchmark::State &state)
+{
+    sim::Simulator sim;
+    cgroup::CgroupTree tree;
+    blk::IoCostGate gate(sim, 0, tree, [](blk::Request *) {});
+    blk::Request req;
+    req.op = OpType::kRead;
+    req.size = 4096;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gate.absCost(req));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IoCostAbsCost);
+
+void
+BM_SsdRandomRead4k(benchmark::State &state)
+{
+    // Whole-device random-read throughput: events per simulated I/O.
+    for (auto _ : state) {
+        sim::Simulator sim;
+        ssd::SsdDevice dev(sim, ssd::samsung980ProLike(), 3);
+        Rng rng(3);
+        uint64_t completed = 0;
+        std::function<void()> issue = [&] {
+            uint64_t off = rng.below(2097152) * 4096;
+            dev.submit(OpType::kRead, off, 4096, [&] {
+                ++completed;
+                if (sim.now() < msToNs(5))
+                    issue();
+            });
+        };
+        for (int i = 0; i < 256; ++i)
+            issue();
+        sim.runUntil(msToNs(5));
+        benchmark::DoNotOptimize(completed);
+        state.SetItemsProcessed(
+            static_cast<int64_t>(sim.eventsExecuted()));
+    }
+}
+BENCHMARK(BM_SsdRandomRead4k)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Q10 (§VI-C, not plotted in the paper): response time of
+ * each knob for high-priority bursty apps.
+ *
+ * A BE cgroup saturates the SSD; a high-priority app (batch-app and
+ * LC-app) bursts in mid-run with the knob configured for strong
+ * prioritization. We report the milliseconds until the priority app
+ * sustains >= 90% of its steady-state performance.
+ *
+ * Expected shape (O10): io.latency takes seconds (one QD halving per
+ * 500 ms window); io.cost, io.max, and the I/O schedulers respond in
+ * milliseconds.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/strings.hh"
+#include "isolbench/d4_bursts.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+int
+main()
+{
+    bool quick = bench::quickMode();
+    BurstOptions opts;
+    opts.threshold = 0.9;
+    if (quick) {
+        opts.duration = secToNs(int64_t{5});
+        opts.burst_start = msToNs(1000);
+    }
+
+    std::printf("Q10: response time for high-priority bursty apps "
+                "(time to >= %.0f%% of steady state)\n",
+                opts.threshold * 100.0);
+
+    stats::Table table({"knob", "priority app", "response (ms)",
+                        "steady value"});
+    for (PriorityAppKind kind :
+         {PriorityAppKind::kBatch, PriorityAppKind::kLc}) {
+        for (Knob knob : {Knob::kMqDeadline, Knob::kBfq, Knob::kIoMax,
+                          Knob::kIoLatency, Knob::kIoCost}) {
+            BurstResult res = runBurstResponse(knob, kind, opts);
+            std::string response = res.response_ms < 0.0
+                ? "not reached"
+                : isol::formatDouble(res.response_ms, 0);
+            std::string steady = kind == PriorityAppKind::kBatch
+                ? bench::gibs(res.steady_value) + " GiB/s"
+                : bench::gibs(res.steady_value) + " GiB/s (QD1 rate)";
+            table.addRow({knobName(knob), priorityAppKindName(kind),
+                          response, steady});
+        }
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+    return 0;
+}

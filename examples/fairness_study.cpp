@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Weighted-fairness study: can you actually buy "2x the bandwidth" with
+ * cgroup weights? (The paper's D2, condensed into one program.)
+ *
+ * Three tenants with weights 1:2:4 share one SSD under each weight-
+ * capable knob. We print each tenant's achieved share next to its
+ * entitled share and the weighted Jain index.
+ *
+ * Build & run:  ./build/examples/fairness_study
+ */
+
+#include <cstdio>
+
+#include "common/strings.hh"
+#include "isolbench/scenario.hh"
+#include "stats/fairness.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+int
+main()
+{
+    std::printf("Weighted fairness: tenants gold/silver/bronze with "
+                "weights 4:2:1,\n4 batch-apps each, one shared SSD.\n\n");
+
+    struct TenantSpec
+    {
+        const char *name;
+        uint32_t weight;
+    };
+    const TenantSpec tenants[] = {
+        {"bronze", 1}, {"silver", 2}, {"gold", 4}};
+
+    stats::Table table({"knob", "bronze GiB/s", "silver GiB/s",
+                        "gold GiB/s", "weighted Jain", "agg GiB/s"});
+
+    for (Knob knob : {Knob::kBfq, Knob::kIoMax, Knob::kIoCost}) {
+        ScenarioConfig cfg;
+        cfg.name = strCat("fairness-", knobName(knob));
+        cfg.knob = knob;
+        cfg.num_cores = 12;
+        cfg.duration = secToNs(int64_t{2});
+        cfg.warmup = msToNs(400);
+        Scenario scenario(cfg);
+
+        for (const TenantSpec &tenant : tenants) {
+            for (int i = 0; i < 4; ++i) {
+                scenario.addApp(
+                    workload::batchApp(strCat(tenant.name, i),
+                                       cfg.duration),
+                    tenant.name);
+            }
+        }
+
+        uint32_t weight_sum = 0;
+        for (const TenantSpec &tenant : tenants)
+            weight_sum += tenant.weight;
+        for (const TenantSpec &tenant : tenants) {
+            cgroup::Cgroup &cg = scenario.group(tenant.name);
+            switch (knob) {
+              case Knob::kBfq:
+                scenario.tree().writeFile(cg, "io.bfq.weight",
+                                          strCat(tenant.weight * 100));
+                break;
+              case Knob::kIoCost:
+                scenario.tree().writeFile(cg, "io.weight",
+                                          strCat(tenant.weight * 100));
+                break;
+              case Knob::kIoMax: {
+                // io.max has no weights: translate shares by hand, as
+                // the paper does (weight/total x max read bandwidth).
+                auto rbps = static_cast<uint64_t>(
+                    2.8 * static_cast<double>(GiB) * tenant.weight /
+                    weight_sum);
+                scenario.tree().writeFile(cg, "io.max",
+                                          strCat("259:0 rbps=", rbps));
+                break;
+              }
+              default:
+                break;
+            }
+        }
+
+        scenario.run();
+
+        std::vector<double> bw(3, 0.0);
+        for (uint32_t i = 0; i < scenario.numApps(); ++i)
+            bw[i / 4] += scenario.appGiBs(i);
+        double jain = stats::weightedJainIndex(bw, {1.0, 2.0, 4.0});
+        table.addRow({knobName(knob), formatDouble(bw[0], 2),
+                      formatDouble(bw[1], 2), formatDouble(bw[2], 2),
+                      formatDouble(jain, 3),
+                      formatDouble(scenario.aggregateGiBs(), 2)});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+    std::printf("\nIdeal split at e.g. 2.3 GiB/s aggregate would be "
+                "0.33 / 0.66 / 1.31 GiB/s.\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Noisy-neighbor scenario: the paper's §VI-B motivation as a runnable
+ * program.
+ *
+ * A latency-critical tenant (think: a cache serving user requests)
+ * shares one NVMe SSD with four best-effort batch tenants that saturate
+ * it. We run the same co-location under every cgroup I/O control knob,
+ * each configured to protect the LC tenant, and print what the LC
+ * tenant's P99 actually was and what the protection cost in aggregate
+ * bandwidth — the prioritization/utilization trade-off.
+ *
+ * Build & run:  ./build/examples/noisy_neighbor
+ */
+
+#include <cstdio>
+
+#include "common/strings.hh"
+#include "isolbench/scenario.hh"
+#include "stats/table.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+namespace
+{
+
+struct Outcome
+{
+    double lc_p99_us;
+    double lc_p50_us;
+    double agg_gibs;
+};
+
+Outcome
+runColocation(Knob knob)
+{
+    ScenarioConfig cfg;
+    cfg.name = strCat("noisy-neighbor-", knobName(knob));
+    cfg.knob = knob;
+    cfg.num_cores = 10;
+    cfg.duration = secToNs(int64_t{2});
+    cfg.warmup = msToNs(400);
+    Scenario scenario(cfg);
+
+    uint32_t lc =
+        scenario.addApp(workload::lcApp("cache", cfg.duration), "cache");
+    for (int i = 0; i < 4; ++i) {
+        scenario.addApp(
+            workload::beApp(strCat("batch", i), cfg.duration), "batch");
+    }
+
+    // Protect the LC tenant with whatever the knob offers.
+    cgroup::CgroupTree &tree = scenario.tree();
+    cgroup::Cgroup &cache = scenario.group("cache");
+    cgroup::Cgroup &batch = scenario.group("batch");
+    switch (knob) {
+      case Knob::kNone:
+      case Knob::kKyber:
+        break;
+      case Knob::kMqDeadline:
+        tree.writeFile(cache, "io.prio.class", "promote-to-rt");
+        tree.writeFile(batch, "io.prio.class", "idle");
+        break;
+      case Knob::kBfq:
+        tree.writeFile(cache, "io.bfq.weight", "1000");
+        tree.writeFile(batch, "io.bfq.weight", "1");
+        break;
+      case Knob::kIoMax:
+        // Cap the neighbours at ~40% of the device.
+        tree.writeFile(batch, "io.max",
+                       strCat("259:0 rbps=", 1200 * MiB));
+        break;
+      case Knob::kIoLatency:
+        tree.writeFile(cache, "io.latency", "259:0 target=150");
+        break;
+      case Knob::kIoCost: {
+        tree.writeFile(cache, "io.weight", "10000");
+        tree.writeFile(batch, "io.weight", "100");
+        cgroup::IoCostQos qos = paperCostQos();
+        qos.rpct = 99.0;
+        qos.rlat = usToNs(250);
+        tree.setCostQos(0, qos);
+        break;
+      }
+    }
+
+    scenario.run();
+    return Outcome{nsToUs(scenario.app(lc).latency().percentile(99)),
+                   nsToUs(scenario.app(lc).latency().percentile(50)),
+                   scenario.aggregateGiBs()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Noisy neighbor: one LC tenant vs 4 saturating batch "
+                "tenants,\neach knob configured to protect the LC "
+                "tenant.\n\n");
+
+    // Reference point: the LC tenant alone on the device.
+    ScenarioConfig solo_cfg;
+    solo_cfg.duration = secToNs(int64_t{1});
+    solo_cfg.warmup = msToNs(200);
+    Scenario solo(solo_cfg);
+    uint32_t solo_lc =
+        solo.addApp(workload::lcApp("cache", solo_cfg.duration), "cache");
+    solo.run();
+    std::printf("LC tenant alone: P99 = %.1f us\n\n",
+                nsToUs(solo.app(solo_lc).latency().percentile(99)));
+
+    stats::Table table(
+        {"knob", "LC P50 (us)", "LC P99 (us)", "aggregate GiB/s"});
+    for (Knob knob : kAllKnobs) {
+        Outcome out = runColocation(knob);
+        table.addRow({knobName(knob), formatDouble(out.lc_p50_us, 1),
+                      formatDouble(out.lc_p99_us, 1),
+                      formatDouble(out.agg_gibs, 2)});
+    }
+    std::fputs(table.toAligned().c_str(), stdout);
+    std::printf("\nReading the table: lower LC P99 = better protection; "
+                "higher aggregate = better utilization.\n");
+    return 0;
+}

@@ -1,0 +1,237 @@
+#include "blk/block_device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace isol::blk
+{
+
+BlockDevice::BlockDevice(sim::Simulator &sim, cgroup::CgroupTree &tree,
+                         ssd::SsdDevice &ssd, BlockDeviceConfig cfg)
+    : sim_(sim), tree_(tree), ssd_(ssd), cfg_(cfg)
+{
+    switch (cfg_.elevator) {
+      case ElevatorType::kNone:
+        elevator_ = std::make_unique<NoneElevator>();
+        dispatch_cost_ = 0;
+        break;
+      case ElevatorType::kMqDeadline:
+        elevator_ = std::make_unique<MqDeadline>(sim_, cfg_.mq_params);
+        dispatch_cost_ = cfg_.mq_lock_hold;
+        break;
+      case ElevatorType::kBfq:
+        elevator_ = std::make_unique<Bfq>(sim_, tree_, cfg_.bfq_params);
+        dispatch_cost_ = cfg_.bfq_lock_hold;
+        break;
+      case ElevatorType::kKyber:
+        elevator_ = std::make_unique<Kyber>(sim_, cfg_.kyber_params);
+        dispatch_cost_ = 0; // per-cpu token pools, no dispatch lock
+        break;
+    }
+    elevator_->setKick([this] { pumpDispatch(); });
+    if (dispatch_cost_ > 0)
+        dispatch_lock_ = std::make_unique<ssd::FifoServer>(sim_);
+
+    if (cfg_.enable_io_latency) {
+        cfg_.iolat_params.max_nr_requests =
+            cfg_.iolatency_max_nr_requests;
+        io_latency_ = std::make_unique<IoLatencyGate>(
+            sim_, cfg_.dev_id,
+            [this](Request *req) { enterTags(req); }, cfg_.iolat_params);
+    }
+    if (cfg_.enable_io_cost) {
+        io_cost_ = std::make_unique<IoCostGate>(
+            sim_, cfg_.dev_id, tree_,
+            [this](Request *req) { afterIoCost(req); },
+            cfg_.iocost_params);
+    }
+    if (cfg_.enable_io_max) {
+        io_max_ = std::make_unique<IoMaxGate>(
+            sim_, cfg_.dev_id,
+            [this](Request *req) { afterIoMax(req); });
+    }
+}
+
+void
+BlockDevice::start()
+{
+    if (io_latency_)
+        io_latency_->start();
+    if (io_cost_)
+        io_cost_->start();
+}
+
+void
+BlockDevice::setTimerCpuCharge(IoCostGate::CpuChargeFn fn)
+{
+    if (io_cost_)
+        io_cost_->setCpuCharge(std::move(fn));
+}
+
+SimTime
+BlockDevice::perIoCpuExtra() const
+{
+    SimTime extra = 0;
+    switch (cfg_.elevator) {
+      case ElevatorType::kNone:
+        break;
+      case ElevatorType::kMqDeadline:
+        extra += cfg_.mq_cpu;
+        break;
+      case ElevatorType::kBfq:
+        extra += cfg_.bfq_cpu;
+        break;
+      case ElevatorType::kKyber:
+        extra += cfg_.kyber_cpu;
+        break;
+    }
+    if (cfg_.enable_io_max)
+        extra += cfg_.iomax_cpu;
+    if (cfg_.enable_io_latency)
+        extra += cfg_.iolat_cpu;
+    if (cfg_.enable_io_cost)
+        extra += cfg_.iocost_cpu;
+    return extra;
+}
+
+SimTime
+BlockDevice::submitSpinTime() const
+{
+    if (!dispatch_lock_)
+        return 0;
+    // When the lock is held right now (it almost always is at
+    // saturation), a submitter expects to spin behind ~0.6 of the other
+    // live contenders; when the lock is free, acquisition is immediate.
+    if (!dispatch_lock_->busy())
+        return 0;
+    uint32_t others = submitters_ > 0 ? submitters_ - 1 : 0;
+    return static_cast<SimTime>(0.6 * static_cast<double>(others) *
+                                static_cast<double>(dispatch_cost_));
+}
+
+void
+BlockDevice::submit(Request *req)
+{
+    if (req->size == 0)
+        fatal("BlockDevice::submit: zero-sized request");
+    req->blk_enter_time = sim_.now();
+    req->prio = req->cg != nullptr ? req->cg->prioClass()
+                                   : cgroup::PrioClass::kNoChange;
+    ++submitted_;
+    // Insert-side scheduler lock acquisition.
+    if (dispatch_lock_) {
+        dispatch_lock_->enqueue(dispatch_cost_,
+                                [this, req] { afterLock(req); });
+        return;
+    }
+    afterLock(req);
+}
+
+void
+BlockDevice::afterLock(Request *req)
+{
+    if (io_max_) {
+        io_max_->submit(req);
+        return;
+    }
+    afterIoMax(req);
+}
+
+void
+BlockDevice::afterIoMax(Request *req)
+{
+    if (io_cost_) {
+        io_cost_->submit(req);
+        return;
+    }
+    afterIoCost(req);
+}
+
+void
+BlockDevice::afterIoCost(Request *req)
+{
+    if (io_latency_) {
+        io_latency_->submit(req);
+        return;
+    }
+    enterTags(req);
+}
+
+void
+BlockDevice::enterTags(Request *req)
+{
+    if (inflight_ >= cfg_.nr_requests) {
+        tag_wait_.push_back(req);
+        return;
+    }
+    ++inflight_;
+    enterElevator(req);
+}
+
+void
+BlockDevice::enterElevator(Request *req)
+{
+    elevator_->insert(req);
+    pumpDispatch();
+}
+
+void
+BlockDevice::pumpDispatch()
+{
+    if (pumping_)
+        return;
+    pumping_ = true;
+    while (true) {
+        if (dispatch_lock_ && dispatch_pending_ > 0)
+            break; // one request at a time through the dispatch lock
+        Request *req = elevator_->selectNext();
+        if (req == nullptr)
+            break;
+        if (dispatch_lock_) {
+            ++dispatch_pending_;
+            dispatch_lock_->enqueue(dispatch_cost_, [this, req] {
+                --dispatch_pending_;
+                issueToDevice(req);
+                pumpDispatch();
+            });
+        } else {
+            issueToDevice(req);
+        }
+    }
+    pumping_ = false;
+}
+
+void
+BlockDevice::issueToDevice(Request *req)
+{
+    req->dispatch_time = sim_.now();
+    ssd_.submit(req->op, req->offset, req->size,
+                [this, req] { onDeviceComplete(req); });
+}
+
+void
+BlockDevice::onDeviceComplete(Request *req)
+{
+    ++completed_;
+    if (io_cost_)
+        io_cost_->onDeviceComplete(req);
+    if (io_latency_)
+        io_latency_->onComplete(req);
+    elevator_->onComplete(req);
+
+    // Release the tag; admit a waiter if any.
+    if (inflight_ == 0)
+        panic("BlockDevice: tag underflow");
+    --inflight_;
+    if (!tag_wait_.empty()) {
+        Request *next = tag_wait_.front();
+        tag_wait_.pop_front();
+        ++inflight_;
+        enterElevator(next);
+    }
+
+    req->on_complete(req);
+}
+
+} // namespace isol::blk

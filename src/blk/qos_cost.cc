@@ -1,0 +1,343 @@
+#include "blk/qos_cost.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace isol::blk
+{
+
+IoCostGate::IoCostGate(sim::Simulator &sim, cgroup::DeviceId dev,
+                       cgroup::CgroupTree &tree, PassFn pass,
+                       IoCostParams params)
+    : sim_(sim), dev_(dev), tree_(tree), pass_(std::move(pass)),
+      params_(params)
+{
+    cgroup::IoCostQos qos = tree_.costQos(dev_);
+    vrate_ = qos.vrate_max / 100.0;
+    timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, params_.period, [this] { periodTick(); });
+}
+
+void
+IoCostGate::start()
+{
+    timer_->start();
+}
+
+IoCostGate::CgState &
+IoCostGate::stateFor(const cgroup::Cgroup *cg)
+{
+    auto [it, inserted] = states_.try_emplace(cg);
+    if (inserted) {
+        it->second.cg = cg;
+        it->second.vtime = vnow_;
+    }
+    return it->second;
+}
+
+SimTime
+IoCostGate::absCost(const Request &req) const
+{
+    // Kernel linear-model form (calc_lcoefs): the per-I/O coefficient is
+    // the *residual* of the IOPS duty point above the per-page cost, so
+    // a 4 KiB random read costs max(1/riops, size/bps) rather than the
+    // sum — the model's saturation points are met exactly.
+    cgroup::IoCostModel model = tree_.costModel(dev_);
+    const double page = 4096.0;
+    double bps;
+    uint64_t iops;
+    if (req.op == OpType::kRead) {
+        bps = static_cast<double>(model.rbps);
+        iops = req.sequential ? model.rseqiops : model.rrandiops;
+    } else {
+        bps = static_cast<double>(model.wbps);
+        iops = req.sequential ? model.wseqiops : model.wrandiops;
+    }
+    double page_cost = page / bps;
+    double io_resid =
+        std::max(0.0, 1.0 / static_cast<double>(iops) - page_cost);
+    double seconds =
+        static_cast<double>(req.size) / bps + io_resid;
+    return static_cast<SimTime>(seconds * 1e9);
+}
+
+void
+IoCostGate::updateVnow()
+{
+    SimTime now = sim_.now();
+    if (now > vnow_updated_) {
+        vnow_ += static_cast<double>(now - vnow_updated_) * vrate_;
+        vnow_updated_ = now;
+    }
+}
+
+void
+IoCostGate::activate(CgState &st)
+{
+    st.last_io = sim_.now();
+    if (st.active)
+        return;
+    st.active = true;
+    ++active_count_;
+    // A group joining after idling must not spend banked history.
+    st.vtime = std::max(st.vtime, vnow_ - params_.credit_cap);
+    recomputeShares();
+}
+
+void
+IoCostGate::recomputeShares()
+{
+    // Mark every tree node that has an active descendant, then resolve
+    // each active group's hierarchical weight share among marked
+    // siblings (weight donation: idle groups are simply not counted).
+    std::unordered_map<const cgroup::Cgroup *, bool> marked;
+    for (auto &[cg, st] : states_) {
+        if (!st.active || cg == nullptr)
+            continue;
+        const cgroup::Cgroup *node = cg;
+        while (node != nullptr && !marked[node]) {
+            marked[node] = true;
+            node = node->parent();
+        }
+    }
+    for (auto &[cg, st] : states_) {
+        if (cg == nullptr) {
+            st.share = 1.0;
+            continue;
+        }
+        if (!st.active)
+            continue;
+        double share = 1.0;
+        const cgroup::Cgroup *node = cg;
+        while (!node->isRoot()) {
+            const cgroup::Cgroup *parent = node->parent();
+            uint64_t sum = 0;
+            for (const cgroup::Cgroup *sib : parent->children()) {
+                auto it = marked.find(sib);
+                if (it != marked.end() && it->second)
+                    sum += sib->ioWeight();
+            }
+            if (sum == 0)
+                sum = node->ioWeight();
+            share *= static_cast<double>(node->ioWeight()) /
+                     static_cast<double>(sum);
+            node = parent;
+        }
+        st.raw_share = std::max(share, 1e-9);
+        // Activation/weight changes grant the full raw share; the next
+        // period's donation pass trims unused budget again.
+        st.share = st.raw_share;
+    }
+}
+
+void
+IoCostGate::donateShares()
+{
+    // Donation (kernel hweight_inuse): an active group consuming well
+    // below its share keeps only usage + headroom; freed budget goes to
+    // budget-constrained groups in proportion to their raw weights.
+    double period_cap =
+        static_cast<double>(params_.period) * std::max(vrate_, 1e-6);
+    double want_sum = 0.0;
+    double receiver_raw_sum = 0.0;
+    std::vector<CgState *> receivers;
+
+    for (auto &[cg, st] : states_) {
+        (void)cg;
+        if (!st.active)
+            continue;
+        double usage = st.period_abs / period_cap;
+        st.period_abs = 0.0;
+        bool constrained = usage >= 0.85 * st.share;
+        double want;
+        if (constrained) {
+            // Using its grant: expand back toward the raw share.
+            want = std::min(st.raw_share,
+                            std::max(st.share * 2.0, usage * 1.25 + 0.02));
+            receivers.push_back(&st);
+            receiver_raw_sum += st.raw_share;
+        } else {
+            // Donor: keep usage plus headroom.
+            want = std::min(st.raw_share, usage * 1.25 + 0.02);
+        }
+        st.share = std::max(want, 1e-9);
+        want_sum += st.share;
+    }
+
+    double surplus = 1.0 - want_sum;
+    if (surplus <= 0.0)
+        return;
+    if (!receivers.empty()) {
+        for (CgState *st : receivers)
+            st->share += surplus * st->raw_share / receiver_raw_sum;
+        return;
+    }
+    // Nobody is constrained: return the surplus weight-proportionally so
+    // no group sits below its raw entitlement (the D1 "must not
+    // throttle" configurations rely on this).
+    double raw_sum = 0.0;
+    for (auto &[cg, st] : states_) {
+        (void)cg;
+        if (st.active)
+            raw_sum += st.raw_share;
+    }
+    if (raw_sum <= 0.0)
+        return;
+    for (auto &[cg, st] : states_) {
+        (void)cg;
+        if (st.active)
+            st.share += surplus * st.raw_share / raw_sum;
+    }
+}
+
+bool
+IoCostGate::tryCharge(CgState &st, Request *req)
+{
+    updateVnow();
+    if (st.vtime < vnow_ - params_.credit_cap)
+        st.vtime = vnow_ - params_.credit_cap;
+    double abs = static_cast<double>(absCost(*req));
+    double cost = abs / std::max(st.share, 1e-9);
+    if (st.vtime + cost <= vnow_ + static_cast<double>(params_.margin)) {
+        st.vtime += cost;
+        st.period_abs += abs; // usage accounting for donation
+        return true;
+    }
+    return false;
+}
+
+void
+IoCostGate::submit(Request *req)
+{
+    CgState &st = stateFor(req->cg);
+    activate(st);
+    if (st.queue.empty() && tryCharge(st, req)) {
+        pass_(req);
+        return;
+    }
+    st.queue.push_back(req);
+    ++throttled_;
+    drain(st);
+}
+
+void
+IoCostGate::drain(CgState &st)
+{
+    if (st.wake_event != sim::kInvalidEventId) {
+        sim_.cancel(st.wake_event);
+        st.wake_event = sim::kInvalidEventId;
+    }
+    while (!st.queue.empty()) {
+        Request *head = st.queue.front();
+        if (tryCharge(st, head)) {
+            st.queue.pop_front();
+            --throttled_;
+            pass_(head);
+            continue;
+        }
+        // Compute when the device clock will have advanced enough.
+        double cost = static_cast<double>(absCost(*head)) /
+                      std::max(st.share, 1e-9);
+        double needed =
+            st.vtime + cost - static_cast<double>(params_.margin) - vnow_;
+        SimTime delay = static_cast<SimTime>(
+            needed / std::max(vrate_, 1e-6));
+        delay = std::max<SimTime>(delay, usToNs(1));
+        const cgroup::Cgroup *cg = st.cg;
+        st.wake_event = sim_.after(delay, [this, cg] {
+            CgState &state = stateFor(cg);
+            state.wake_event = sim::kInvalidEventId;
+            drain(state);
+        });
+        return;
+    }
+}
+
+void
+IoCostGate::onDeviceComplete(Request *req)
+{
+    SimTime lat = sim_.now() - req->dispatch_time;
+    if (req->op == OpType::kRead)
+        window_read_lat_.record(lat);
+    else
+        window_write_lat_.record(lat);
+}
+
+void
+IoCostGate::periodTick()
+{
+    // The period timer is kernel work: walking the active groups holds
+    // the ioc lock and competes with submission paths for CPU. Charge it
+    // to the host CPU first; the control decisions run when it retires.
+    SimTime work = params_.timer_cpu_base +
+                   params_.timer_cpu_per_group *
+                       static_cast<SimTime>(active_count_);
+    if (cpu_charge_) {
+        cpu_charge_(work, [this] { periodWork(); });
+    } else {
+        periodWork();
+    }
+}
+
+void
+IoCostGate::periodWork()
+{
+    updateVnow();
+
+    // Deactivate groups idle for more than two periods (weight donation).
+    bool changed = false;
+    for (auto &[cg, st] : states_) {
+        (void)cg;
+        if (st.active && st.queue.empty() &&
+            sim_.now() - st.last_io > 2 * params_.period) {
+            st.active = false;
+            --active_count_;
+            changed = true;
+        }
+    }
+    if (changed)
+        recomputeShares();
+    if (params_.enable_donation)
+        donateShares();
+
+    // QoS: compare windowed device latencies against the targets and
+    // scale vrate within [min, max].
+    cgroup::IoCostQos qos = tree_.costQos(dev_);
+    double vmin = qos.vrate_min / 100.0;
+    double vmax = qos.vrate_max / 100.0;
+    if (!qos.enable) {
+        vrate_ = vmax;
+    } else {
+        bool read_checked = qos.rpct > 0.0 && window_read_lat_.count() > 0;
+        bool write_checked =
+            qos.wpct > 0.0 && window_write_lat_.count() > 0;
+        bool violated =
+            (read_checked &&
+             window_read_lat_.percentile(qos.rpct) > qos.rlat) ||
+            (write_checked &&
+             window_write_lat_.percentile(qos.wpct) > qos.wlat);
+        if (violated)
+            vrate_ = std::max(vmin, vrate_ * params_.vrate_step_down);
+        else
+            vrate_ = std::min(vmax, vrate_ + params_.vrate_step_up * vmax);
+    }
+    window_read_lat_.clear();
+    window_write_lat_.clear();
+
+    // Wakeup estimates are stale after a vrate change: re-drain.
+    for (auto &[cg, st] : states_) {
+        (void)cg;
+        if (!st.queue.empty())
+            drain(st);
+    }
+}
+
+double
+IoCostGate::shareOf(const cgroup::Cgroup *cg)
+{
+    return stateFor(cg).share;
+}
+
+} // namespace isol::blk

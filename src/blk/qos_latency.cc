@@ -1,0 +1,133 @@
+#include "blk/qos_latency.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace isol::blk
+{
+
+IoLatencyGate::IoLatencyGate(sim::Simulator &sim, cgroup::DeviceId dev,
+                             PassFn pass, IoLatencyParams params)
+    : sim_(sim), dev_(dev), pass_(std::move(pass)), params_(params)
+{
+    timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, params_.window, [this] { windowTick(); });
+}
+
+void
+IoLatencyGate::start()
+{
+    timer_->start();
+}
+
+IoLatencyGate::CgState &
+IoLatencyGate::stateFor(const cgroup::Cgroup *cg)
+{
+    auto [it, inserted] = states_.try_emplace(cg);
+    if (inserted) {
+        it->second.cg = cg;
+        it->second.qd_limit = params_.max_nr_requests;
+    }
+    return it->second;
+}
+
+uint32_t
+IoLatencyGate::qdLimit(const cgroup::Cgroup *cg)
+{
+    return stateFor(cg).qd_limit;
+}
+
+uint32_t
+IoLatencyGate::useDelay(const cgroup::Cgroup *cg)
+{
+    return stateFor(cg).use_delay;
+}
+
+void
+IoLatencyGate::submit(Request *req)
+{
+    CgState &st = stateFor(req->cg);
+    if (st.queue.empty() && st.inflight < st.qd_limit) {
+        ++st.inflight;
+        pass_(req);
+        return;
+    }
+    st.queue.push_back(req);
+    ++throttled_;
+}
+
+void
+IoLatencyGate::onComplete(Request *req)
+{
+    CgState &st = stateFor(req->cg);
+    st.window_lat.record(sim_.now() - req->blk_enter_time);
+    if (st.inflight == 0)
+        panic("IoLatencyGate: inflight underflow");
+    --st.inflight;
+    drain(st);
+}
+
+void
+IoLatencyGate::drain(CgState &st)
+{
+    while (!st.queue.empty() && st.inflight < st.qd_limit) {
+        Request *head = st.queue.front();
+        st.queue.pop_front();
+        --throttled_;
+        ++st.inflight;
+        pass_(head);
+    }
+}
+
+void
+IoLatencyGate::windowTick()
+{
+    // Determine the strictest violated target; groups are only penalised
+    // on behalf of groups with *stricter* (smaller) targets.
+    SimTime strictest_violated = kSimTimeMax;
+    bool any_violated = false;
+    for (auto &[cg, st] : states_) {
+        if (cg == nullptr)
+            continue;
+        SimTime target = cg->ioLatencyTarget(dev_);
+        if (target <= 0 || st.window_lat.count() == 0)
+            continue;
+        SimTime p = st.window_lat.percentile(params_.percentile);
+        if (p > target) {
+            any_violated = true;
+            strictest_violated = std::min(strictest_violated, target);
+        }
+    }
+
+    for (auto &[cg, st] : states_) {
+        SimTime target =
+            cg == nullptr ? kSimTimeMax : cg->ioLatencyTarget(dev_);
+        if (target <= 0)
+            target = kSimTimeMax; // no target: lowest priority
+        bool is_victim = any_violated && target > strictest_violated;
+
+        if (is_victim) {
+            if (st.qd_limit > 1) {
+                // Halve once per window.
+                st.qd_limit = std::max(1u, st.qd_limit / 2);
+            } else {
+                // Stuck at QD 1 and the target is still violated.
+                ++st.use_delay;
+            }
+        } else if (st.qd_limit < params_.max_nr_requests) {
+            // Unthrottle opportunity.
+            if (st.use_delay > 0) {
+                --st.use_delay;
+            } else {
+                st.qd_limit = std::min(
+                    params_.max_nr_requests,
+                    st.qd_limit + params_.max_nr_requests / 4);
+            }
+        }
+        st.window_lat.clear();
+        drain(st);
+    }
+}
+
+} // namespace isol::blk

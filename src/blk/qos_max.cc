@@ -1,0 +1,125 @@
+#include "blk/qos_max.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace isol::blk
+{
+
+IoMaxGate::CgState &
+IoMaxGate::stateFor(const cgroup::Cgroup *cg)
+{
+    return states_[cg];
+}
+
+namespace
+{
+
+/**
+ * Time needed to earn `amount` units at `rate` units/s, in ns.
+ */
+SimTime
+earnTime(uint64_t amount, uint64_t rate)
+{
+    return static_cast<SimTime>(static_cast<double>(amount) /
+                                static_cast<double>(rate) * 1e9);
+}
+
+} // namespace
+
+SimTime
+IoMaxGate::admissionTime(CgState &st, const Request &req) const
+{
+    if (req.cg == nullptr)
+        return sim_.now();
+    cgroup::IoMaxLimits limits = req.cg->ioMax(dev_);
+    if (limits.unlimited())
+        return sim_.now();
+
+    SimTime now = sim_.now();
+    SimTime when = now;
+    auto consider = [&](const Bucket &bucket, uint64_t rate) {
+        if (rate == 0)
+            return;
+        // Idle credit is capped: the bucket cannot be "owed" more than
+        // one slice into the past.
+        SimTime base = std::max(bucket.next_free, now - kSlice);
+        when = std::max(when, base);
+    };
+    bool read = req.op == OpType::kRead;
+    consider(read ? st.rbps : st.wbps, read ? limits.rbps : limits.wbps);
+    consider(read ? st.riops : st.wiops,
+             read ? limits.riops : limits.wiops);
+    return when;
+}
+
+void
+IoMaxGate::consume(CgState &st, const Request &req)
+{
+    if (req.cg == nullptr)
+        return;
+    cgroup::IoMaxLimits limits = req.cg->ioMax(dev_);
+    if (limits.unlimited())
+        return;
+    SimTime now = sim_.now();
+    auto advance = [&](Bucket &bucket, uint64_t amount, uint64_t rate) {
+        if (rate == 0)
+            return;
+        SimTime base = std::max(bucket.next_free, now - kSlice);
+        bucket.next_free = base + earnTime(amount, rate);
+    };
+    bool read = req.op == OpType::kRead;
+    if (read) {
+        advance(st.rbps, req.size, limits.rbps);
+        advance(st.riops, 1, limits.riops);
+    } else {
+        advance(st.wbps, req.size, limits.wbps);
+        advance(st.wiops, 1, limits.wiops);
+    }
+}
+
+void
+IoMaxGate::submit(Request *req)
+{
+    CgState &st = stateFor(req->cg);
+    if (st.queue.empty()) {
+        SimTime when = admissionTime(st, *req);
+        if (when <= sim_.now()) {
+            consume(st, *req);
+            pass_(req);
+            return;
+        }
+    }
+    st.queue.push_back(req);
+    ++throttled_;
+    if (!st.draining) {
+        st.draining = true;
+        const cgroup::Cgroup *cg = req->cg;
+        SimTime when = admissionTime(st, *st.queue.front());
+        sim_.at(std::max(when, sim_.now()), [this, cg] { drain(cg); });
+    }
+}
+
+void
+IoMaxGate::drain(const cgroup::Cgroup *cg)
+{
+    CgState &st = states_[cg];
+    st.draining = false;
+    while (!st.queue.empty()) {
+        Request *head = st.queue.front();
+        SimTime when = admissionTime(st, *head);
+        if (when <= sim_.now()) {
+            consume(st, *head);
+            st.queue.pop_front();
+            --throttled_;
+            pass_(head);
+            continue;
+        }
+        st.draining = true;
+        sim_.at(when, [this, cg] { drain(cg); });
+        return;
+    }
+}
+
+} // namespace isol::blk

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * io.max throttling (Linux blk-throttle) model.
+ *
+ * Each cgroup gets four token buckets per device (rbps/wbps/riops/wiops).
+ * A request passes when every applicable bucket has credit; otherwise it
+ * queues FIFO inside its cgroup and is released when its dimensions are
+ * satisfied. As in the kernel, accumulated idle credit is capped at one
+ * throttle slice so a limit cannot be burst around after an idle period.
+ *
+ * io.max is static: it never unthrottles in the absence of other load,
+ * which is exactly the non-work-conserving behaviour the paper measures
+ * (O8, Fig. 2e).
+ */
+
+#ifndef ISOL_BLK_QOS_MAX_HH
+#define ISOL_BLK_QOS_MAX_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "blk/request.hh"
+#include "sim/simulator.hh"
+
+namespace isol::blk
+{
+
+/**
+ * Per-device io.max gate.
+ */
+class IoMaxGate
+{
+  public:
+    /** Passes a request deeper into the pipeline. */
+    using PassFn = std::function<void(Request *)>;
+
+    /**
+     * @param sim simulator
+     * @param dev device id used to look up io.max limits in the cgroup
+     * @param pass downstream continuation
+     */
+    IoMaxGate(sim::Simulator &sim, cgroup::DeviceId dev, PassFn pass)
+        : sim_(sim), dev_(dev), pass_(std::move(pass))
+    {
+    }
+
+    /** Admit or queue a request. */
+    void submit(Request *req);
+
+    /** Requests currently held back. */
+    size_t throttled() const { return throttled_; }
+
+  private:
+    /**
+     * Virtual-time token bucket: `next_free` is the time at which enough
+     * credit exists for the next unit; consuming advances it.
+     */
+    struct Bucket
+    {
+        SimTime next_free = 0;
+    };
+
+    struct CgState
+    {
+        Bucket rbps;
+        Bucket wbps;
+        Bucket riops;
+        Bucket wiops;
+        std::deque<Request *> queue;
+        bool draining = false;
+    };
+
+    CgState &stateFor(const cgroup::Cgroup *cg);
+
+    /**
+     * Earliest time `req` may pass given the cgroup's current buckets
+     * (== now when it may pass immediately). Does not consume credit.
+     */
+    SimTime admissionTime(CgState &st, const Request &req) const;
+
+    /** Consume bucket credit for an admitted request. */
+    void consume(CgState &st, const Request &req);
+
+    /** Release queued requests whose time has come. */
+    void drain(const cgroup::Cgroup *cg);
+
+    /** Credit horizon (kernel throtl_slice for SSDs is ~20 ms). */
+    static constexpr SimTime kSlice = msToNs(20);
+
+    sim::Simulator &sim_;
+    cgroup::DeviceId dev_;
+    PassFn pass_;
+    std::unordered_map<const cgroup::Cgroup *, CgState> states_;
+    size_t throttled_ = 0;
+};
+
+} // namespace isol::blk
+
+#endif // ISOL_BLK_QOS_MAX_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Block-layer request type and related enums.
+ */
+
+#ifndef ISOL_BLK_REQUEST_HH
+#define ISOL_BLK_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "cgroup/cgroup.hh"
+#include "common/types.hh"
+
+namespace isol::blk
+{
+
+/** Which elevator (I/O scheduler) a block device uses. */
+enum class ElevatorType : uint8_t
+{
+    kNone, //!< multi-queue direct dispatch (Linux "none")
+    kMqDeadline, //!< mq-deadline
+    kBfq, //!< BFQ
+    kKyber, //!< Kyber (extension; no cgroup knob, see blk/kyber.hh)
+};
+
+/** Human-readable elevator name. */
+inline const char *
+elevatorName(ElevatorType type)
+{
+    switch (type) {
+      case ElevatorType::kNone: return "none";
+      case ElevatorType::kMqDeadline: return "mq-deadline";
+      case ElevatorType::kBfq: return "bfq";
+      case ElevatorType::kKyber: return "kyber";
+    }
+    return "?";
+}
+
+/**
+ * One block I/O request flowing through the cgroup-controlled pipeline:
+ * io.max throttle -> io.cost -> io.latency -> tags -> elevator -> device.
+ */
+struct Request
+{
+    OpType op = OpType::kRead;
+    uint64_t offset = 0;
+    uint32_t size = 0;
+
+    /** Issuing cgroup (must not be null when any knob is active). */
+    cgroup::Cgroup *cg = nullptr;
+
+    /** True when the issuing stream is sequential (io.cost model choice). */
+    bool sequential = false;
+
+    /** When the request entered the block layer. */
+    SimTime blk_enter_time = 0;
+
+    /** When the request was dispatched to the device. */
+    SimTime dispatch_time = 0;
+
+    /** Completion callback into the submitter. */
+    std::function<void(Request *)> on_complete;
+
+    /** Resolved I/O priority class (from the cgroup, at submit). */
+    cgroup::PrioClass prio = cgroup::PrioClass::kNoChange;
+};
+
+} // namespace isol::blk
+
+#endif // ISOL_BLK_REQUEST_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * cgroup v2 hierarchy model (paper §IV-A).
+ *
+ * Semantics reproduced from the kernel:
+ *  - one root group; all groups inherit from it;
+ *  - "no internal processes": a group either delegates resource control
+ *    (management group: +io in cgroup.subtree_control, no processes) or
+ *    holds processes (process group: no controllers in its own
+ *    subtree_control);
+ *  - I/O knobs may only be set on groups whose *parent* enables the io
+ *    controller — except io.cost.model/io.cost.qos (root-only) and
+ *    io.prio.class (per-process-group, not inheritable);
+ *  - knobs are written/read in kernel sysfs string syntax via
+ *    writeFile()/readFile(), or through typed accessors.
+ */
+
+#ifndef ISOL_CGROUP_CGROUP_HH
+#define ISOL_CGROUP_CGROUP_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cgroup/knobs.hh"
+#include "common/types.hh"
+
+namespace isol::cgroup
+{
+
+class CgroupTree;
+
+/** Dense id of a cgroup within its tree. */
+using CgroupId = uint32_t;
+
+/**
+ * One control group.
+ */
+class Cgroup
+{
+  public:
+    const std::string &name() const { return name_; }
+
+    /** Slash-separated path from the root ("/" for the root itself). */
+    std::string path() const;
+
+    CgroupId id() const { return id_; }
+    Cgroup *parent() const { return parent_; }
+    bool isRoot() const { return parent_ == nullptr; }
+
+    const std::vector<Cgroup *> &children() const { return children_; }
+
+    /** Whether the io controller is enabled for the children. */
+    bool ioControllerEnabled() const { return io_enabled_; }
+
+    /** Number of processes attached. */
+    uint32_t processCount() const { return processes_; }
+
+    // --- Typed knob accessors (validated like writeFile) ---
+
+    /** io.weight (io.cost), 1-10000. */
+    uint32_t ioWeight() const { return io_weight_; }
+
+    /** io.bfq.weight, 1-1000. */
+    uint32_t bfqWeight() const { return bfq_weight_; }
+
+    /** io.prio.class. */
+    PrioClass prioClass() const { return prio_class_; }
+
+    /** io.max limits for `dev` (unlimited when never set). */
+    IoMaxLimits ioMax(DeviceId dev) const;
+
+    /** io.latency target for `dev` (0 = disabled). */
+    SimTime ioLatencyTarget(DeviceId dev) const;
+
+  private:
+    friend class CgroupTree;
+
+    Cgroup(CgroupTree *tree, Cgroup *parent, std::string name, CgroupId id)
+        : tree_(tree), parent_(parent), name_(std::move(name)), id_(id)
+    {
+    }
+
+    CgroupTree *tree_;
+    Cgroup *parent_;
+    std::string name_;
+    CgroupId id_;
+    std::vector<Cgroup *> children_;
+
+    bool io_enabled_ = false; //!< +io in cgroup.subtree_control
+    uint32_t processes_ = 0;
+
+    uint32_t io_weight_ = 100;
+    uint32_t bfq_weight_ = 100;
+    PrioClass prio_class_ = PrioClass::kNoChange;
+    std::map<DeviceId, IoMaxLimits> io_max_;
+    std::map<DeviceId, IoLatencyConfig> io_latency_;
+};
+
+/**
+ * The cgroup hierarchy plus the root-only io.cost global configuration.
+ */
+class CgroupTree
+{
+  public:
+    CgroupTree();
+
+    /** The root group. */
+    Cgroup &root() { return *root_; }
+    const Cgroup &root() const { return *root_; }
+
+    /** All groups in creation order (index == CgroupId). */
+    const std::vector<std::unique_ptr<Cgroup>> &groups() const
+    {
+        return groups_;
+    }
+
+    Cgroup &group(CgroupId id) { return *groups_.at(id); }
+    const Cgroup &group(CgroupId id) const { return *groups_.at(id); }
+
+    /**
+     * Create a child group. Fails if the parent holds processes (v2
+     * forbids sibling processes and groups receiving controllers) when
+     * the parent has the io controller enabled.
+     */
+    Cgroup &createChild(Cgroup &parent, const std::string &name);
+
+    /** Enable the io controller for `group`'s children ("+io"). */
+    void enableIoController(Cgroup &group);
+
+    /**
+     * Attach a process to `group`. Enforces "no internal processes":
+     * groups with controllers enabled cannot hold processes.
+     */
+    void attachProcess(Cgroup &group);
+
+    /** Detach one process. */
+    void detachProcess(Cgroup &group);
+
+    /**
+     * Write a knob file in kernel syntax. Valid files: "io.weight",
+     * "io.bfq.weight", "io.prio.class", "io.max", "io.latency",
+     * "io.cost.model", "io.cost.qos", "cgroup.subtree_control".
+     * io.max/io.latency/io.cost.* values must be prefixed with a device
+     * id ("<dev> key=value ..."). Throws FatalError on invalid input or
+     * a rule violation — like -EINVAL from the kernel.
+     */
+    void writeFile(Cgroup &group, const std::string &file,
+                   const std::string &value);
+
+    /** Read a knob file back in kernel-ish syntax. */
+    std::string readFile(const Cgroup &group, const std::string &file) const;
+
+    // --- Root-only io.cost globals ---
+
+    /** io.cost.model for `dev` (defaults when never written). */
+    IoCostModel costModel(DeviceId dev) const;
+
+    /** io.cost.qos for `dev`. */
+    IoCostQos costQos(DeviceId dev) const;
+
+    /** Typed setter mirroring writeFile("io.cost.model"). */
+    void setCostModel(DeviceId dev, const IoCostModel &model);
+
+    /** Typed setter mirroring writeFile("io.cost.qos"). */
+    void setCostQos(DeviceId dev, const IoCostQos &qos);
+
+    /**
+     * Hierarchical weight share of `group` in [0,1]: the product over the
+     * path from the root of (weight / sum of sibling weights), counting
+     * only siblings that have processes or descendants with processes.
+     * `bfq` selects io.bfq.weight instead of io.weight.
+     */
+    double hierarchicalShare(const Cgroup &group, bool bfq) const;
+
+  private:
+    void validateKnobWrite(Cgroup &group, const std::string &file) const;
+
+    /** True when the subtree rooted here contains any process. */
+    bool subtreeActive(const Cgroup &group) const;
+
+    std::vector<std::unique_ptr<Cgroup>> groups_;
+    Cgroup *root_;
+
+    std::map<DeviceId, IoCostModel> cost_models_;
+    std::map<DeviceId, IoCostQos> cost_qos_;
+};
+
+} // namespace isol::cgroup
+
+#endif // ISOL_CGROUP_CGROUP_HH

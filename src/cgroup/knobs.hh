@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Typed values of the five cgroup-v2 I/O control knobs, plus parsers for
+ * the kernel's sysfs string syntax (paper §IV-B).
+ *
+ *   io.prio.class   - I/O scheduling class hint (MQ-DL consumes it)
+ *   io.bfq.weight   - BFQ absolute weight, 1-1000 (default 100)
+ *   io.weight       - io.cost absolute weight, 1-10000 (default 100)
+ *   io.max          - static limits: rbps/wbps/riops/wiops per device
+ *   io.latency      - P90 tail-latency target per device
+ *   io.cost.model   - linear device cost model (root-only, per device)
+ *   io.cost.qos     - latency targets + vrate bounds (root-only)
+ */
+
+#ifndef ISOL_CGROUP_KNOBS_HH
+#define ISOL_CGROUP_KNOBS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace isol::cgroup
+{
+
+/** Device identifier ("maj:min" in the kernel; a dense index here). */
+using DeviceId = uint32_t;
+
+/** io.prio.class values (cgroup v2 semantics). */
+enum class PrioClass : uint8_t
+{
+    kNoChange, //!< "no-change" (default)
+    kPromoteToRt, //!< "promote-to-rt"
+    kRestrictToBe, //!< "restrict-to-be"
+    kIdle, //!< "idle"
+};
+
+/** Parse an io.prio.class string; nullopt on unknown input. */
+std::optional<PrioClass> parsePrioClass(const std::string &text);
+
+/** Kernel-syntax name of a priority class. */
+const char *prioClassName(PrioClass cls);
+
+/** io.max limits for one device; 0 means "max" (unlimited). */
+struct IoMaxLimits
+{
+    uint64_t rbps = 0; //!< read bytes/s
+    uint64_t wbps = 0; //!< write bytes/s
+    uint64_t riops = 0; //!< read IOs/s
+    uint64_t wiops = 0; //!< write IOs/s
+
+    bool
+    unlimited() const
+    {
+        return rbps == 0 && wbps == 0 && riops == 0 && wiops == 0;
+    }
+};
+
+/**
+ * Parse the body of an io.max write after the device id, e.g.
+ * "rbps=83886080 wbps=max riops=max wiops=max". Missing keys keep the
+ * value in `base`. Returns nullopt on malformed input.
+ */
+std::optional<IoMaxLimits> parseIoMax(const std::string &text,
+                                      IoMaxLimits base = {});
+
+/** io.latency configuration for one device. */
+struct IoLatencyConfig
+{
+    SimTime target = 0; //!< P90 target; 0 = disabled
+};
+
+/** Parse "target=<usec>"; nullopt on malformed input. */
+std::optional<IoLatencyConfig> parseIoLatency(const std::string &text);
+
+/**
+ * io.cost.model: linear cost model per device (see
+ * Documentation/admin-guide/cgroup-v2.rst and the iocost paper). Values
+ * describe the device's saturation throughput per dimension.
+ */
+struct IoCostModel
+{
+    bool user = false; //!< user-provided (vs auto)
+    uint64_t rbps = 2400ull * MiB; //!< read bytes/s at saturation
+    uint64_t rseqiops = 600000; //!< sequential read IOPS at saturation
+    uint64_t rrandiops = 600000; //!< random read IOPS at saturation
+    uint64_t wbps = 500ull * MiB; //!< write bytes/s at saturation
+    uint64_t wseqiops = 120000; //!< sequential write IOPS
+    uint64_t wrandiops = 120000; //!< random write IOPS
+};
+
+/** Parse "ctrl=user model=linear rbps=... ..." after the device id. */
+std::optional<IoCostModel> parseIoCostModel(const std::string &text,
+                                            IoCostModel base = {});
+
+/** io.cost.qos: congestion detection and vrate bounds. */
+struct IoCostQos
+{
+    bool enable = true;
+    double rpct = 0.0; //!< read latency percentile (0 disables)
+    SimTime rlat = usToNs(100); //!< read latency target
+    double wpct = 0.0; //!< write latency percentile (0 disables)
+    SimTime wlat = usToNs(400); //!< write latency target
+    double vrate_min = 25.0; //!< min vrate scaling percentage
+    double vrate_max = 100.0; //!< max vrate scaling percentage
+};
+
+/** Parse "enable=1 rpct=95.00 rlat=100000 ... min=50.00 max=100.00". */
+std::optional<IoCostQos> parseIoCostQos(const std::string &text,
+                                        IoCostQos base = {});
+
+/** Weight knobs share range validation; returns nullopt out of range. */
+std::optional<uint32_t> parseWeight(const std::string &text,
+                                    uint32_t min_weight,
+                                    uint32_t max_weight);
+
+} // namespace isol::cgroup
+
+#endif // ISOL_CGROUP_KNOBS_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal logging and error-handling helpers.
+ *
+ * Follows the gem5 distinction between panic() (an internal invariant was
+ * violated — a simulator bug; aborts) and fatal() (the user asked for
+ * something invalid — a configuration error; throws so tests can check it).
+ */
+
+#ifndef ISOL_COMMON_LOGGING_HH
+#define ISOL_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace isol
+{
+
+/** Severity levels for runtime log output. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Thrown by fatal(): an invalid user configuration was requested. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Global minimum level actually emitted (default kWarn: quiet benches). */
+LogLevel logLevel();
+
+/** Set the global minimum log level. */
+void setLogLevel(LogLevel level);
+
+/** Emit one log line if `level` is at or above the global threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Report an unrecoverable internal error (simulator bug) and abort. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an invalid user configuration by throwing FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Build a message from stream-style arguments.
+ * Example: logMessage(LogLevel::kInfo, strCat("apps=", n));
+ */
+template <typename... Args>
+std::string
+strCat(Args &&...args)
+{
+    std::ostringstream oss;
+    (void)(oss << ... << args);
+    return oss.str();
+}
+
+} // namespace isol
+
+#endif // ISOL_COMMON_LOGGING_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small string utilities used by the cgroup sysfs-style knob parsers and
+ * the report emitters.
+ */
+
+#ifndef ISOL_COMMON_STRINGS_HH
+#define ISOL_COMMON_STRINGS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isol
+{
+
+/** Split `text` on `sep`, keeping empty fields. */
+std::vector<std::string> splitString(std::string_view text, char sep);
+
+/** Split `text` on any run of whitespace, dropping empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/** Strip leading and trailing whitespace. */
+std::string trimString(std::string_view text);
+
+/**
+ * Parse a non-negative integer, optionally suffixed with k/m/g/t (binary
+ * multipliers, case-insensitive), e.g. "64k" -> 65536. Returns nullopt on
+ * malformed input. "max" is accepted when `max_value` is provided and maps
+ * to it (mirrors cgroup v2 io.max syntax).
+ */
+std::optional<uint64_t> parseSize(std::string_view text,
+                                  std::optional<uint64_t> max_value = {});
+
+/** Parse a plain non-negative base-10 integer. */
+std::optional<uint64_t> parseUint(std::string_view text);
+
+/** Format a byte count as a compact human-readable string ("1.5GiB"). */
+std::string formatBytes(uint64_t bytes);
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double value, int precision);
+
+} // namespace isol
+
+#endif // ISOL_COMMON_STRINGS_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Scenario: one isol-bench experiment instance.
+ *
+ * A scenario owns the whole simulated system — CPU cores, one or more
+ * SSDs with their block-layer pipelines, a cgroup tree, and a set of
+ * apps (fio jobs) — configured for exactly one cgroup I/O control knob,
+ * mirroring the paper's setup (§III): no Docker, direct I/O, knobs
+ * evaluated one at a time.
+ *
+ * Typical use:
+ *   ScenarioConfig cfg;
+ *   cfg.knob = Knob::kIoCost;
+ *   Scenario s(cfg);
+ *   uint32_t a = s.addApp(workload::lcApp("lc", secToNs(2)), "lc");
+ *   s.tree().writeFile(s.appGroup(a), "io.weight", "1000");
+ *   s.run();
+ *   double p99 = nsToUs(s.app(a).latency().percentile(99));
+ */
+
+#ifndef ISOL_ISOLBENCH_SCENARIO_HH
+#define ISOL_ISOLBENCH_SCENARIO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blk/block_device.hh"
+#include "cgroup/cgroup.hh"
+#include "host/cpu.hh"
+#include "host/engine.hh"
+#include "sim/simulator.hh"
+#include "ssd/device.hh"
+#include "workload/app_profiles.hh"
+#include "workload/job.hh"
+
+namespace isol::isolbench
+{
+
+/** The cgroup I/O control knob under evaluation. */
+enum class Knob : uint8_t
+{
+    kNone, //!< no I/O control (baseline)
+    kMqDeadline, //!< MQ-DL + io.prio.class
+    kBfq, //!< BFQ + io.bfq.weight
+    kIoMax, //!< io.max
+    kIoLatency, //!< io.latency
+    kIoCost, //!< io.cost + io.weight
+    kKyber, //!< Kyber scheduler (extension: no cgroup knob; see [75])
+};
+
+/** Kernel-style knob name used in reports. */
+const char *knobName(Knob knob);
+
+/** All knobs in the paper's column order. */
+inline constexpr Knob kAllKnobs[] = {
+    Knob::kNone,        Knob::kMqDeadline, Knob::kBfq,
+    Knob::kIoMax,       Knob::kIoLatency,  Knob::kIoCost,
+};
+
+/** Scenario-wide configuration. */
+struct ScenarioConfig
+{
+    std::string name = "scenario";
+    Knob knob = Knob::kNone;
+    uint32_t num_cores = 10;
+    uint32_t num_devices = 1;
+    ssd::SsdConfig device = ssd::samsung980ProLike();
+    host::EngineConfig engine = host::ioUringEngine();
+    bool precondition = false; //!< steady-state fill before writes
+    SimTime duration = secToNs(int64_t{2});
+    SimTime warmup = msToNs(300);
+    uint64_t seed = 1;
+
+    /**
+     * io.cost configuration choice: when true, install the "generated"
+     * achievable model + latency qos (paper §III / §VI); when false,
+     * install a beyond-saturation model with qos disabled — the paper's
+     * D1 overhead configuration (§V).
+     */
+    bool iocost_achievable_model = true;
+
+    /** Elevator tunables (e.g. slice_idle=0 for the D1 experiments). */
+    blk::MqDeadlineParams mq_params;
+    blk::BfqParams bfq_params;
+
+    /** io.cost mechanism tunables (ablation studies). */
+    blk::IoCostParams iocost_params;
+
+    /** Ablation: run the iocost period timer as host CPU work. */
+    bool iocost_timer_on_cpu = true;
+};
+
+/** The paper-default generated cost model (~2.3 GiB/s read saturation). */
+cgroup::IoCostModel generatedCostModel();
+
+/** A model far beyond device saturation (io.cost never throttles). */
+cgroup::IoCostModel beyondSaturationCostModel();
+
+/** Paper Fig. 2g/h qos: P95 read latency target 100 us, min=50 max=100. */
+cgroup::IoCostQos paperCostQos();
+
+/** QoS with latency checks disabled (D1 overhead configuration). */
+cgroup::IoCostQos disabledCostQos();
+
+/**
+ * One fully wired experiment.
+ */
+class Scenario
+{
+  public:
+    explicit Scenario(ScenarioConfig cfg);
+    ~Scenario();
+    Scenario(const Scenario &) = delete;
+    Scenario &operator=(const Scenario &) = delete;
+
+    const ScenarioConfig &config() const { return cfg_; }
+
+    sim::Simulator &sim() { return sim_; }
+    cgroup::CgroupTree &tree() { return tree_; }
+    host::CpuSet &cpus() { return *cpus_; }
+
+    uint32_t numDevices() const;
+    blk::BlockDevice &device(uint32_t i);
+    ssd::SsdDevice &ssd(uint32_t i);
+
+    /**
+     * Add an app running `spec` inside cgroup `cgroup_name` (created
+     * under the root on first use; several apps may share one group)
+     * against device `device_index`. Returns the app index.
+     */
+    uint32_t addApp(workload::JobSpec spec, const std::string &cgroup_name,
+                    uint32_t device_index = 0);
+
+    uint32_t numApps() const;
+    workload::FioJob &app(uint32_t i);
+
+    /** Leaf cgroup of app `i`. */
+    cgroup::Cgroup &appGroup(uint32_t i);
+
+    /** Cgroup named `name` (must have been created by addApp). */
+    cgroup::Cgroup &group(const std::string &name);
+
+    /** Run the simulation to `cfg.duration`. Call once. */
+    void run();
+
+    // --- Window metrics (valid after run()) ---
+
+    /** Measure-window length in ns. */
+    SimTime windowNs() const { return cfg_.duration - cfg_.warmup; }
+
+    /** Aggregated bandwidth of all apps in GiB/s. */
+    double aggregateGiBs();
+
+    /** App i's window bandwidth in GiB/s. */
+    double appGiBs(uint32_t i);
+
+    /** Mean CPU utilisation in [0, 1] over the window, all cores. */
+    double cpuUtilization() const;
+
+    /** Context switches per completed I/O over the whole run. */
+    double contextSwitchesPerIo() const;
+
+  private:
+    struct AppSlot;
+
+    void buildDevices();
+
+    ScenarioConfig cfg_;
+    sim::Simulator sim_;
+    cgroup::CgroupTree tree_;
+    std::unique_ptr<host::CpuSet> cpus_;
+    std::vector<std::unique_ptr<ssd::SsdDevice>> ssds_;
+    std::vector<std::unique_ptr<blk::BlockDevice>> bdevs_;
+    std::vector<std::unique_ptr<AppSlot>> apps_;
+
+    SimTime busy_at_warmup_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace isol::isolbench
+
+#endif // ISOL_ISOLBENCH_SCENARIO_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the simulator.
+ *
+ * Events are (time, sequence, callback) triples ordered by time and, for
+ * equal times, by insertion order so simulations are fully deterministic.
+ * Cancellation is supported through lightweight event ids; cancelled events
+ * are dropped lazily when popped.
+ */
+
+#ifndef ISOL_SIM_EVENT_QUEUE_HH
+#define ISOL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace isol::sim
+{
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = uint64_t;
+
+/** Sentinel id meaning "no event". */
+constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Time-ordered event queue with deterministic tie-breaking.
+ *
+ * The queue owns no notion of "now"; the Simulator drives it and maintains
+ * the clock. Callbacks should capture at most a pointer and a small id so
+ * std::function stays allocation-free on the hot path.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Schedule `cb` to fire at absolute time `when`. */
+    EventId
+    schedule(SimTime when, Callback cb)
+    {
+        EventId id = next_id_++;
+        heap_.push(Event{when, id, std::move(cb)});
+        return id;
+    }
+
+    /**
+     * Cancel a previously scheduled event. Safe to call for ids that have
+     * already fired (harmless; the stale marker is dropped lazily).
+     * Returns true the first time an id is cancelled.
+     */
+    bool
+    cancel(EventId id)
+    {
+        if (id == kInvalidEventId || id >= next_id_)
+            return false;
+        return cancelled_.insert(id).second;
+    }
+
+    /** True when no live (non-cancelled) events remain. */
+    bool
+    empty()
+    {
+        skipCancelled();
+        return heap_.empty();
+    }
+
+    /**
+     * Live events, assuming every cancelled marker still references a
+     * pending event (an upper bound when fired ids were cancelled).
+     */
+    size_t
+    size() const
+    {
+        size_t pending = heap_.size();
+        size_t dead = cancelled_.size();
+        return pending > dead ? pending - dead : 0;
+    }
+
+    /** Time of the earliest live event; kSimTimeMax when empty. */
+    SimTime
+    nextTime()
+    {
+        skipCancelled();
+        return heap_.empty() ? kSimTimeMax : heap_.top().when;
+    }
+
+    /**
+     * Pop and return the earliest live event. Precondition: !empty()
+     * was checked (which also drops cancelled events from the top).
+     * The returned pair is (time, callback); the caller invokes it.
+     */
+    std::pair<SimTime, Callback>
+    pop()
+    {
+        skipCancelled();
+        // The heap stores const tops; move out via const_cast, which is
+        // safe because we pop immediately after.
+        Event &top = const_cast<Event &>(heap_.top());
+        std::pair<SimTime, Callback> out{top.when, std::move(top.cb)};
+        heap_.pop();
+        return out;
+    }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /** Drop cancelled events sitting at the top of the heap. */
+    void
+    skipCancelled()
+    {
+        while (!heap_.empty()) {
+            auto it = cancelled_.find(heap_.top().id);
+            if (it == cancelled_.end())
+                break;
+            cancelled_.erase(it);
+            heap_.pop();
+        }
+    }
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+    EventId next_id_ = 1;
+};
+
+} // namespace isol::sim
+
+#endif // ISOL_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The Simulator owns the clock and the event queue and provides the
+ * run-loop plus relative-time scheduling conveniences.
+ */
+
+#ifndef ISOL_SIM_SIMULATOR_HH
+#define ISOL_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace isol::sim
+{
+
+/**
+ * Deterministic single-threaded discrete-event simulator.
+ *
+ * Components hold a Simulator reference and schedule callbacks either at
+ * absolute times (`at`) or relative delays (`after`). The driver calls
+ * runUntil()/runAll() to advance the simulation.
+ */
+class Simulator
+{
+  public:
+    using Callback = EventQueue::Callback;
+
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time (ns). */
+    SimTime now() const { return now_; }
+
+    /** Total events executed so far (for performance reporting). */
+    uint64_t eventsExecuted() const { return events_executed_; }
+
+    /** Schedule at an absolute time; must not be in the past. */
+    EventId
+    at(SimTime when, Callback cb)
+    {
+        if (when < now_)
+            panic("Simulator::at: scheduling into the past");
+        return queue_.schedule(when, std::move(cb));
+    }
+
+    /** Schedule after a non-negative relative delay. */
+    EventId
+    after(SimTime delay, Callback cb)
+    {
+        if (delay < 0)
+            panic("Simulator::after: negative delay");
+        return queue_.schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Cancel a pending event. Returns true if it had not yet fired. */
+    bool cancel(EventId id) { return queue_.cancel(id); }
+
+    /** True when no further events are pending. */
+    bool idle() { return queue_.empty(); }
+
+    /**
+     * Run events with time <= `deadline`; afterwards now() == deadline
+     * (even if the queue drained earlier), so periodic statistics windows
+     * line up across runs.
+     */
+    void
+    runUntil(SimTime deadline)
+    {
+        while (!queue_.empty() && queue_.nextTime() <= deadline)
+            step();
+        if (deadline > now_)
+            now_ = deadline;
+    }
+
+    /** Run until the event queue is empty. */
+    void
+    runAll()
+    {
+        while (!queue_.empty())
+            step();
+    }
+
+    /** Execute exactly one event; returns false if none were pending. */
+    bool
+    step()
+    {
+        if (queue_.empty())
+            return false;
+        auto [when, cb] = queue_.pop();
+        if (when < now_)
+            panic("Simulator: time went backwards");
+        now_ = when;
+        ++events_executed_;
+        cb();
+        return true;
+    }
+
+  private:
+    EventQueue queue_;
+    SimTime now_ = 0;
+    uint64_t events_executed_ = 0;
+};
+
+/**
+ * Repeating timer helper: fires a callback every `period` ns until
+ * stopped. Used for rq-qos window processing (io.latency / io.cost) and
+ * statistics sampling.
+ */
+class PeriodicTimer
+{
+  public:
+    /**
+     * @param sim simulator driving the timer
+     * @param period interval between firings (must be > 0)
+     * @param cb invoked once per period
+     */
+    PeriodicTimer(Simulator &sim, SimTime period, std::function<void()> cb)
+        : sim_(sim), period_(period), cb_(std::move(cb))
+    {
+        if (period_ <= 0)
+            panic("PeriodicTimer: period must be positive");
+    }
+
+    ~PeriodicTimer() { stop(); }
+
+    PeriodicTimer(const PeriodicTimer &) = delete;
+    PeriodicTimer &operator=(const PeriodicTimer &) = delete;
+
+    /** Arm the timer; first firing after one period. */
+    void
+    start()
+    {
+        if (running_)
+            return;
+        running_ = true;
+        armNext();
+    }
+
+    /** Disarm; pending firing is cancelled. */
+    void
+    stop()
+    {
+        running_ = false;
+        if (pending_ != kInvalidEventId) {
+            sim_.cancel(pending_);
+            pending_ = kInvalidEventId;
+        }
+    }
+
+    bool running() const { return running_; }
+
+  private:
+    void
+    armNext()
+    {
+        pending_ = sim_.after(period_, [this] {
+            pending_ = kInvalidEventId;
+            if (!running_)
+                return;
+            cb_();
+            if (running_)
+                armNext();
+        });
+    }
+
+    Simulator &sim_;
+    SimTime period_;
+    std::function<void()> cb_;
+    bool running_ = false;
+    EventId pending_ = kInvalidEventId;
+};
+
+} // namespace isol::sim
+
+#endif // ISOL_SIM_SIMULATOR_HH

@@ -1,0 +1,43 @@
+#include "stats/fairness.hh"
+
+#include "common/logging.hh"
+
+namespace isol::stats
+{
+
+double
+jainIndex(const std::vector<double> &allocations)
+{
+    size_t n = allocations.size();
+    if (n <= 1)
+        return 1.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : allocations) {
+        if (x < 0.0)
+            fatal("jainIndex: negative allocation");
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0.0)
+        return 1.0; // all-zero: trivially equal
+    return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+double
+weightedJainIndex(const std::vector<double> &allocations,
+                  const std::vector<double> &weights)
+{
+    if (allocations.size() != weights.size())
+        fatal("weightedJainIndex: size mismatch");
+    std::vector<double> normalised;
+    normalised.reserve(allocations.size());
+    for (size_t i = 0; i < allocations.size(); ++i) {
+        if (weights[i] <= 0.0)
+            fatal("weightedJainIndex: non-positive weight");
+        normalised.push_back(allocations[i] / weights[i]);
+    }
+    return jainIndex(normalised);
+}
+
+} // namespace isol::stats

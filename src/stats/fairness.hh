@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Jain's fairness index, the D2 metric of the paper (§II-B / §VI-A).
+ *
+ * For allocations x_i and weights w_i the weighted index is
+ *   J = (sum(x_i / w_i))^2 / (n * sum((x_i / w_i)^2)),
+ * i.e. the classic Jain index over the weight-normalised allocations.
+ * J == 1 means perfectly proportional sharing; J -> 1/n means one tenant
+ * captured everything.
+ */
+
+#ifndef ISOL_STATS_FAIRNESS_HH
+#define ISOL_STATS_FAIRNESS_HH
+
+#include <vector>
+
+namespace isol::stats
+{
+
+/** Unweighted Jain fairness index; 1.0 for an empty or singleton input. */
+double jainIndex(const std::vector<double> &allocations);
+
+/**
+ * Weighted Jain fairness index: allocations are normalised by weight
+ * before applying the classic formula. Weights must be positive and the
+ * two vectors must have equal length.
+ */
+double weightedJainIndex(const std::vector<double> &allocations,
+                         const std::vector<double> &weights);
+
+} // namespace isol::stats
+
+#endif // ISOL_STATS_FAIRNESS_HH

@@ -1,0 +1,154 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace isol::stats
+{
+
+Histogram::Histogram() = default;
+
+size_t
+Histogram::valueToIndex(int64_t value)
+{
+    if (value < 0)
+        value = 0;
+    uint64_t v = static_cast<uint64_t>(value);
+    if (v < kSubBuckets)
+        return static_cast<size_t>(v);
+    // For v >= kSubBuckets, shift v right until it lands in
+    // [kSubBuckets/2, kSubBuckets): each magnitude (power of two) then
+    // contributes kSubBuckets/2 linear buckets.
+    int msb = 63 - std::countl_zero(v);
+    int magnitude = msb - kSubBucketBits + 1; // >= 1
+    uint64_t sub = v >> magnitude; // in [kSubBuckets/2, kSubBuckets)
+    return static_cast<size_t>(kSubBuckets) +
+           static_cast<size_t>(magnitude - 1) * (kSubBuckets / 2) +
+           static_cast<size_t>(sub - kSubBuckets / 2);
+}
+
+int64_t
+Histogram::indexToValue(size_t index)
+{
+    if (index < kSubBuckets)
+        return static_cast<int64_t>(index);
+    size_t rest = index - kSubBuckets;
+    uint64_t magnitude = rest / (kSubBuckets / 2) + 1;
+    uint64_t sub = rest % (kSubBuckets / 2) + kSubBuckets / 2;
+    // Upper edge of the bucket (largest value mapping to this index).
+    return static_cast<int64_t>(((sub + 1) << magnitude) - 1);
+}
+
+void
+Histogram::record(int64_t value)
+{
+    record(value, 1);
+}
+
+void
+Histogram::record(int64_t value, uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (value < 0)
+        value = 0;
+    size_t idx = valueToIndex(value);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    buckets_[idx] += count;
+    count_ += count;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+    max_ = std::max(max_, value);
+    if (!has_min_ || value < min_) {
+        min_ = value;
+        has_min_ = true;
+    }
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    if (other.has_min_ && (!has_min_ || other.min_ < min_)) {
+        min_ = other.min_;
+        has_min_ = true;
+    }
+}
+
+void
+Histogram::clear()
+{
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    max_ = 0;
+    min_ = 0;
+    has_min_ = false;
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(count_);
+}
+
+int64_t
+Histogram::min() const
+{
+    return has_min_ ? min_ : 0;
+}
+
+int64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    // Rank of the requested percentile, 1-based.
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                          static_cast<double>(count_));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            int64_t value = indexToValue(i);
+            return std::min(value, max_);
+        }
+    }
+    return max_;
+}
+
+std::vector<std::pair<int64_t, double>>
+Histogram::cdf() const
+{
+    std::vector<std::pair<int64_t, double>> out;
+    if (count_ == 0)
+        return out;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        seen += buckets_[i];
+        out.emplace_back(std::min(indexToValue(i), max_),
+                         static_cast<double>(seen) /
+                             static_cast<double>(count_));
+    }
+    return out;
+}
+
+} // namespace isol::stats

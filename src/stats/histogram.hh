@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Log-linear latency histogram (HDR-histogram style).
+ *
+ * Values are bucketed with a fixed relative precision: each power-of-two
+ * magnitude range is divided into `kSubBuckets` linear sub-buckets, giving
+ * <= 1/kSubBuckets relative error on percentile queries while using a few
+ * KiB of memory and O(1) inserts — essential when recording tens of
+ * millions of per-I/O latencies.
+ */
+
+#ifndef ISOL_STATS_HISTOGRAM_HH
+#define ISOL_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace isol::stats
+{
+
+/**
+ * Fixed-precision histogram over non-negative int64 values (nanoseconds).
+ */
+class Histogram
+{
+  public:
+    Histogram();
+
+    /** Record one value (values < 0 clamp to 0). */
+    void record(int64_t value);
+
+    /** Record one value `count` times. */
+    void record(int64_t value, uint64_t count);
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    /** Remove all samples. */
+    void clear();
+
+    /** Total number of recorded samples. */
+    uint64_t count() const { return count_; }
+
+    /** Arithmetic mean of recorded samples (bucket-midpoint based). */
+    double mean() const;
+
+    /** Largest recorded value (exact, not bucketed). */
+    int64_t max() const { return max_; }
+
+    /** Smallest recorded value (exact, not bucketed). */
+    int64_t min() const;
+
+    /**
+     * Value at percentile `p` in [0, 100]. Returns the representative
+     * (upper-edge) value of the bucket containing that rank; 0 if empty.
+     */
+    int64_t percentile(double p) const;
+
+    /**
+     * CDF points as (value, cumulative_probability) pairs, one per
+     * non-empty bucket — suitable for plotting the paper's Fig 3 CDFs.
+     */
+    std::vector<std::pair<int64_t, double>> cdf() const;
+
+  private:
+    static constexpr int kSubBucketBits = 6; // 64 sub-buckets => ~1.6% error
+    static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+    /** Map a value to its bucket index. */
+    static size_t valueToIndex(int64_t value);
+
+    /** Upper-edge representative value of a bucket. */
+    static int64_t indexToValue(size_t index);
+
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    int64_t max_ = 0;
+    int64_t min_ = 0;
+    bool has_min_ = false;
+    double sum_ = 0.0;
+};
+
+} // namespace isol::stats
+
+#endif // ISOL_STATS_HISTOGRAM_HH

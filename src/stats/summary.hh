@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Streaming mean/variance accumulator (Welford) used for repeated-run
+ * standard deviations (the paper repeats fairness experiments 5 times).
+ */
+
+#ifndef ISOL_STATS_SUMMARY_HH
+#define ISOL_STATS_SUMMARY_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace isol::stats
+{
+
+/** Online mean / sample-stddev / min / max over double observations. */
+class Summary
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (n_ == 1 || x < min_)
+            min_ = x;
+        if (n_ == 1 || x > max_)
+            max_ = x;
+    }
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 with fewer than 2 samples. */
+    double
+    variance() const
+    {
+        return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    /** Sample standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace isol::stats
+
+#endif // ISOL_STATS_SUMMARY_HH

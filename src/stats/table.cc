@@ -1,0 +1,87 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace isol::stats
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        fatal(strCat("Table: row has ", row.size(), " fields, expected ",
+                     headers_.size()));
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::toAligned() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << row[c];
+            if (c + 1 < row.size())
+                oss << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        oss << '\n';
+    };
+    emitRow(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    oss << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+    return oss.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream oss;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            const std::string &field = row[c];
+            bool quote = field.find(',') != std::string::npos ||
+                         field.find('"') != std::string::npos;
+            if (quote) {
+                oss << '"';
+                for (char ch : field) {
+                    if (ch == '"')
+                        oss << '"';
+                    oss << ch;
+                }
+                oss << '"';
+            } else {
+                oss << field;
+            }
+            if (c + 1 < row.size())
+                oss << ',';
+        }
+        oss << '\n';
+    };
+    emitRow(headers_);
+    for (const auto &row : rows_)
+        emitRow(row);
+    return oss.str();
+}
+
+} // namespace isol::stats

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aligned-text and CSV table emitters used by the benchmark harnesses to
+ * print the paper's rows/series.
+ */
+
+#ifndef ISOL_STATS_TABLE_HH
+#define ISOL_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace isol::stats
+{
+
+/**
+ * Simple row/column table. Collect rows of strings; render either as an
+ * aligned monospace table or as CSV.
+ */
+class Table
+{
+  public:
+    /** @param headers column headers */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Render with space padding and a separator line under the header. */
+    std::string toAligned() const;
+
+    /** Render as RFC-4180-ish CSV (fields containing commas are quoted). */
+    std::string toCsv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace isol::stats
+
+#endif // ISOL_STATS_TABLE_HH

@@ -1,0 +1,65 @@
+#include "stats/timeseries.hh"
+
+#include "common/logging.hh"
+
+namespace isol::stats
+{
+
+TimeSeries::TimeSeries(SimTime bin_width) : bin_width_(bin_width)
+{
+    if (bin_width_ <= 0)
+        panic("TimeSeries: bin width must be positive");
+}
+
+void
+TimeSeries::add(SimTime when, uint64_t amount)
+{
+    if (when < 0)
+        when = 0;
+    size_t bin = static_cast<size_t>(when / bin_width_);
+    if (bin >= bins_.size())
+        bins_.resize(bin + 1, 0);
+    bins_[bin] += amount;
+    total_ += amount;
+}
+
+uint64_t
+TimeSeries::binTotal(size_t i) const
+{
+    return i < bins_.size() ? bins_[i] : 0;
+}
+
+uint64_t
+TimeSeries::totalBetween(SimTime from, SimTime to) const
+{
+    if (to <= from)
+        return 0;
+    uint64_t sum = 0;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        SimTime start = static_cast<SimTime>(i) * bin_width_;
+        if (start >= from && start < to)
+            sum += bins_[i];
+    }
+    return sum;
+}
+
+std::vector<double>
+TimeSeries::ratePerSecond() const
+{
+    std::vector<double> out;
+    out.reserve(bins_.size());
+    double secs = nsToSec(bin_width_);
+    for (uint64_t b : bins_)
+        out.push_back(static_cast<double>(b) / secs);
+    return out;
+}
+
+double
+TimeSeries::meanRate(SimTime from, SimTime to) const
+{
+    if (to <= from)
+        return 0.0;
+    return static_cast<double>(totalBetween(from, to)) / nsToSec(to - from);
+}
+
+} // namespace isol::stats

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The paper's three app classes (§II-A / §III) as JobSpec factories:
+ *
+ *  - LC-app:    latency-critical, 4 KiB random reads at QD 1;
+ *  - batch-app: bandwidth-hungry, 4 KiB random reads at QD 256;
+ *  - BE-app:    best-effort (no SLO), same shape as a batch-app.
+ *
+ * Fig. 2's illustrative apps (64 KiB random reads, QD 8, rate-limited to
+ * 1.5 GiB/s) get their own factory.
+ */
+
+#ifndef ISOL_WORKLOAD_APP_PROFILES_HH
+#define ISOL_WORKLOAD_APP_PROFILES_HH
+
+#include <string>
+
+#include "workload/job.hh"
+
+namespace isol::workload
+{
+
+/** Latency-critical app: 4 KiB random read, QD 1. */
+inline JobSpec
+lcApp(const std::string &name, SimTime duration)
+{
+    JobSpec spec;
+    spec.name = name;
+    spec.op = OpType::kRead;
+    spec.pattern = AccessPattern::kRandom;
+    spec.block_size = 4 * KiB;
+    spec.iodepth = 1;
+    spec.duration = duration;
+    return spec;
+}
+
+/** Batch app: 4 KiB random read, QD 256. */
+inline JobSpec
+batchApp(const std::string &name, SimTime duration)
+{
+    JobSpec spec;
+    spec.name = name;
+    spec.op = OpType::kRead;
+    spec.pattern = AccessPattern::kRandom;
+    spec.block_size = 4 * KiB;
+    spec.iodepth = 256;
+    spec.duration = duration;
+    return spec;
+}
+
+/** Best-effort app: no SLO; batch-shaped load. */
+inline JobSpec
+beApp(const std::string &name, SimTime duration)
+{
+    JobSpec spec = batchApp(name, duration);
+    spec.name = name;
+    return spec;
+}
+
+/** Fig. 2 illustrative app: 64 KiB randread QD 8, limited to 1.5 GiB/s. */
+inline JobSpec
+fig2App(const std::string &name, SimTime start, SimTime duration)
+{
+    JobSpec spec;
+    spec.name = name;
+    spec.op = OpType::kRead;
+    spec.pattern = AccessPattern::kRandom;
+    spec.block_size = 64 * KiB;
+    spec.iodepth = 8;
+    spec.rate_bps = 1536 * MiB; // 1.5 GiB/s
+    spec.start_time = start;
+    spec.duration = duration;
+    return spec;
+}
+
+} // namespace isol::workload
+
+#endif // ISOL_WORKLOAD_APP_PROFILES_HH

@@ -1,0 +1,164 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace isol::workload
+{
+
+namespace
+{
+
+std::optional<OpType>
+parseOp(const std::string &text)
+{
+    if (text == "R" || text == "r" || text == "read" || text == "READ")
+        return OpType::kRead;
+    if (text == "W" || text == "w" || text == "write" || text == "WRITE")
+        return OpType::kWrite;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::vector<TraceRecord>
+parseTrace(std::istream &input)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(input, line)) {
+        ++line_no;
+        std::string trimmed = trimString(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        std::vector<std::string> fields = splitString(trimmed, ',');
+        if (fields.size() != 4) {
+            fatal(strCat("trace line ", line_no,
+                         ": expected time_us,op,offset,size"));
+        }
+        auto time_us = parseUint(trimString(fields[0]));
+        auto op = parseOp(trimString(fields[1]));
+        auto offset = parseSize(trimString(fields[2]));
+        auto size = parseSize(trimString(fields[3]));
+        if (!time_us || !op || !offset || !size || *size == 0) {
+            fatal(strCat("trace line ", line_no, ": malformed field"));
+        }
+        TraceRecord record;
+        record.when = usToNs(static_cast<int64_t>(*time_us));
+        record.op = *op;
+        record.offset = *offset;
+        record.size = static_cast<uint32_t>(*size);
+        records.push_back(record);
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.when < b.when;
+                     });
+    return records;
+}
+
+std::vector<TraceRecord>
+parseTraceString(const std::string &text)
+{
+    std::istringstream stream(text);
+    return parseTrace(stream);
+}
+
+/** One in-flight replayed request. */
+struct TraceReplayer::Pending
+{
+    TraceReplayer *owner = nullptr;
+    blk::Request req;
+    SimTime issue_time = 0;
+};
+
+TraceReplayer::TraceReplayer(sim::Simulator &sim,
+                             std::vector<TraceRecord> trace,
+                             blk::BlockDevice &bdev, host::CpuCore &core,
+                             host::EngineConfig engine,
+                             cgroup::CgroupTree &tree, cgroup::Cgroup *cg,
+                             host::TaskId task, double time_scale)
+    : sim_(sim), trace_(std::move(trace)), bdev_(bdev), core_(core),
+      engine_(engine), tree_(tree), cg_(cg), task_(task),
+      time_scale_(time_scale), series_(msToNs(100))
+{
+    if (time_scale_ <= 0.0)
+        fatal("TraceReplayer: time_scale must be positive");
+}
+
+TraceReplayer::~TraceReplayer() = default;
+
+void
+TraceReplayer::schedule(SimTime start)
+{
+    if (trace_.empty())
+        return;
+    if (cg_ != nullptr && !attached_) {
+        tree_.attachProcess(*cg_);
+        attached_ = true;
+    }
+    for (size_t i = 0; i < trace_.size(); ++i) {
+        SimTime when = start + static_cast<SimTime>(
+            static_cast<double>(trace_[i].when) * time_scale_);
+        issueAt(i, when);
+    }
+}
+
+void
+TraceReplayer::issueAt(size_t index, SimTime when)
+{
+    sim_.at(when, [this, index, when] {
+        // Trace tools amortise submissions like deep-queue fio jobs.
+        SimTime cost =
+            engine_.submitCost(engine_.max_batch) + bdev_.perIoCpuExtra();
+        core_.charge(task_, cost, [this, index, when] {
+            const TraceRecord &record = trace_[index];
+            auto slot = std::make_unique<Pending>();
+            slot->owner = this;
+            slot->issue_time = when;
+            blk::Request &req = slot->req;
+            req.op = record.op;
+            req.offset = record.offset;
+            req.size = record.size;
+            req.cg = cg_;
+            Pending *raw = slot.get();
+            req.on_complete = [raw](blk::Request *) {
+                raw->owner->onComplete(raw);
+            };
+            pending_.push_back(std::move(slot));
+            ++issued_;
+            SimTime spin = bdev_.submitSpinTime();
+            if (spin > 0)
+                core_.charge(task_, spin, [] {});
+            bdev_.submit(&req);
+        });
+    });
+}
+
+void
+TraceReplayer::onComplete(Pending *slot)
+{
+    core_.charge(task_, engine_.completeCost(engine_.max_batch),
+                 [this, slot] {
+        latency_.record(sim_.now() - slot->issue_time);
+        series_.add(sim_.now(), slot->req.size);
+        ++completed_;
+        // Release the slot.
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->get() == slot) {
+                pending_.erase(it);
+                break;
+            }
+        }
+        if (completed_ == trace_.size() && attached_) {
+            tree_.detachProcess(*cg_);
+            attached_ = false;
+        }
+    });
+}
+
+} // namespace isol::workload

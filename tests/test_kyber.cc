@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the Kyber elevator extension: domain token depths, read
+ * preference, write-depth throttling under read-latency pressure, and
+ * depth recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "blk/kyber.hh"
+#include "sim/simulator.hh"
+
+namespace isol::blk
+{
+namespace
+{
+
+std::unique_ptr<Request>
+makeReq(OpType op, sim::Simulator &sim)
+{
+    auto req = std::make_unique<Request>();
+    req->op = op;
+    req->size = 4096;
+    req->blk_enter_time = sim.now();
+    return req;
+}
+
+TEST(Kyber, ReadsDispatchBeforeWrites)
+{
+    sim::Simulator sim;
+    Kyber kyber(sim);
+    auto w = makeReq(OpType::kWrite, sim);
+    auto r = makeReq(OpType::kRead, sim);
+    kyber.insert(w.get());
+    kyber.insert(r.get());
+    EXPECT_EQ(kyber.selectNext(), r.get());
+    EXPECT_EQ(kyber.selectNext(), w.get());
+}
+
+TEST(Kyber, WriteDomainTokensLimitInflight)
+{
+    sim::Simulator sim;
+    KyberParams params;
+    params.write_depth = 2;
+    Kyber kyber(sim, params);
+
+    std::vector<std::unique_ptr<Request>> writes;
+    for (int i = 0; i < 4; ++i) {
+        writes.push_back(makeReq(OpType::kWrite, sim));
+        kyber.insert(writes.back().get());
+    }
+    EXPECT_NE(kyber.selectNext(), nullptr);
+    EXPECT_NE(kyber.selectNext(), nullptr);
+    // Depth 2: the third write needs a completed token.
+    EXPECT_EQ(kyber.selectNext(), nullptr);
+    kyber.onComplete(writes[0].get());
+    EXPECT_NE(kyber.selectNext(), nullptr);
+}
+
+TEST(Kyber, ThrottlesWritesWhenReadsMissTarget)
+{
+    sim::Simulator sim;
+    KyberParams params;
+    params.read_lat_target = usToNs(100);
+    params.tune_window = msToNs(10);
+    Kyber kyber(sim, params);
+    uint32_t depth_before = kyber.writeDepth();
+
+    // Complete reads with 1 ms latency (target 100 us) in each window.
+    std::vector<std::unique_ptr<Request>> reqs;
+    std::function<void()> slow_reads = [&] {
+        for (int i = 0; i < 16; ++i) {
+            reqs.push_back(makeReq(OpType::kRead, sim));
+            Request *r = reqs.back().get();
+            r->blk_enter_time = sim.now() - msToNs(1);
+            kyber.insert(r);
+            EXPECT_EQ(kyber.selectNext(), r);
+            kyber.onComplete(r);
+        }
+    };
+    for (int w = 1; w <= 4; ++w)
+        sim.at(msToNs(w * 10 - 5), slow_reads);
+    sim.runUntil(msToNs(45));
+    EXPECT_LT(kyber.writeDepth(), depth_before);
+    EXPECT_GE(kyber.writeDepth(), 1u);
+}
+
+TEST(Kyber, WriteDepthRecoversWhenHealthy)
+{
+    sim::Simulator sim;
+    KyberParams params;
+    params.read_lat_target = usToNs(100);
+    params.tune_window = msToNs(10);
+    Kyber kyber(sim, params);
+
+    // Throttle down first.
+    std::vector<std::unique_ptr<Request>> reqs;
+    std::function<void()> slow_reads = [&] {
+        for (int i = 0; i < 16; ++i) {
+            reqs.push_back(makeReq(OpType::kRead, sim));
+            Request *r = reqs.back().get();
+            r->blk_enter_time = sim.now() - msToNs(1);
+            kyber.insert(r);
+            kyber.selectNext();
+            kyber.onComplete(r);
+        }
+    };
+    sim.at(msToNs(5), slow_reads);
+    sim.runUntil(msToNs(15));
+    uint32_t throttled = kyber.writeDepth();
+    ASSERT_LT(throttled, params.write_depth);
+
+    // Quiet windows: depth climbs back.
+    sim.runUntil(msToNs(400));
+    EXPECT_EQ(kyber.writeDepth(), params.write_depth);
+}
+
+TEST(Kyber, KickFiredOnTokenReturn)
+{
+    sim::Simulator sim;
+    KyberParams params;
+    params.write_depth = 1;
+    Kyber kyber(sim, params);
+    int kicks = 0;
+    kyber.setKick([&] { ++kicks; });
+
+    auto w1 = makeReq(OpType::kWrite, sim);
+    auto w2 = makeReq(OpType::kWrite, sim);
+    kyber.insert(w1.get());
+    kyber.insert(w2.get());
+    EXPECT_EQ(kyber.selectNext(), w1.get());
+    EXPECT_EQ(kyber.selectNext(), nullptr);
+    kyber.onComplete(w1.get());
+    EXPECT_GE(kicks, 1);
+    EXPECT_EQ(kyber.selectNext(), w2.get());
+}
+
+TEST(Kyber, EmptyAndQueuedTracking)
+{
+    sim::Simulator sim;
+    Kyber kyber(sim);
+    EXPECT_TRUE(kyber.empty());
+    auto r = makeReq(OpType::kRead, sim);
+    kyber.insert(r.get());
+    EXPECT_EQ(kyber.queued(), 1u);
+    kyber.selectNext();
+    EXPECT_TRUE(kyber.empty());
+}
+
+} // namespace
+} // namespace isol::blk

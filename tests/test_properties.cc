@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Property-based tests (parameterized sweeps) on system invariants:
+ *
+ *  - FTL consistency across geometries and random workloads;
+ *  - request conservation through the block-layer pipeline for every
+ *    knob (nothing lost, nothing duplicated);
+ *  - byte conservation between apps and the device;
+ *  - determinism: identical seeds give identical results;
+ *  - device model monotonicity (more parallelism -> more throughput).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <tuple>
+
+#include "blk/block_device.hh"
+#include "common/rng.hh"
+#include "isolbench/scenario.hh"
+#include "sim/simulator.hh"
+#include "ssd/config.hh"
+#include "ssd/device.hh"
+#include "ssd/ftl.hh"
+
+namespace isol
+{
+namespace
+{
+
+// --- FTL invariants across geometries --------------------------------------
+
+struct FtlGeometry
+{
+    uint32_t channels;
+    uint32_t dies_per_channel;
+    uint32_t pages_per_block;
+    double overprovision;
+};
+
+class FtlInvariantTest : public ::testing::TestWithParam<FtlGeometry>
+{
+  protected:
+    ssd::SsdConfig
+    makeConfig() const
+    {
+        ssd::SsdConfig cfg = ssd::samsung980ProLike();
+        const FtlGeometry &g = GetParam();
+        cfg.user_capacity = 32 * MiB;
+        cfg.channels = g.channels;
+        cfg.dies_per_channel = g.dies_per_channel;
+        cfg.pages_per_block = g.pages_per_block;
+        cfg.overprovision = g.overprovision;
+        return cfg;
+    }
+};
+
+TEST_P(FtlInvariantTest, ConsistentAfterSequentialFill)
+{
+    ssd::Ftl ftl(makeConfig());
+    ftl.preconditionSequentialFill(1.0);
+    std::string error;
+    EXPECT_TRUE(ftl.checkInvariants(&error)) << error;
+}
+
+TEST_P(FtlInvariantTest, ConsistentAfterRandomOverwrite)
+{
+    ssd::SsdConfig cfg = makeConfig();
+    ssd::Ftl ftl(cfg);
+    Rng rng(42);
+    ftl.preconditionSequentialFill(1.0);
+    ftl.preconditionRandomOverwrite(cfg.numLogicalPages() * 2, rng);
+    std::string error;
+    EXPECT_TRUE(ftl.checkInvariants(&error)) << error;
+    EXPECT_GT(ftl.blocksErased(), 0u);
+}
+
+TEST_P(FtlInvariantTest, ConsistentAfterPartialFill)
+{
+    ssd::SsdConfig cfg = makeConfig();
+    ssd::Ftl ftl(cfg);
+    Rng rng(7);
+    ftl.preconditionSequentialFill(0.5);
+    ftl.preconditionRandomOverwrite(cfg.numLogicalPages() / 2, rng);
+    std::string error;
+    EXPECT_TRUE(ftl.checkInvariants(&error)) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FtlInvariantTest,
+    ::testing::Values(FtlGeometry{2, 2, 32, 0.30},
+                      FtlGeometry{4, 2, 64, 0.25},
+                      FtlGeometry{2, 4, 16, 0.40},
+                      FtlGeometry{8, 1, 32, 0.30},
+                      FtlGeometry{1, 4, 64, 0.35}));
+
+// --- Device-level invariants -----------------------------------------------
+
+TEST(DeviceProperties, FtlConsistentAfterTimedWrites)
+{
+    sim::Simulator sim;
+    ssd::SsdConfig cfg = ssd::samsung980ProLike();
+    cfg.user_capacity = 128 * MiB;
+    cfg.channels = 4;
+    cfg.dies_per_channel = 2;
+    ssd::SsdDevice dev(sim, cfg, 5);
+    dev.precondition(1.0, 1.0);
+    Rng rng(5);
+
+    int outstanding = 0;
+    std::function<void()> loop = [&] {
+        ++outstanding;
+        uint64_t off = rng.below(cfg.user_capacity / 4096) * 4096;
+        OpType op = rng.chance(0.5) ? OpType::kRead : OpType::kWrite;
+        dev.submit(op, off, 4096, [&] {
+            --outstanding;
+            if (sim.now() < msToNs(100))
+                loop();
+        });
+    };
+    for (int i = 0; i < 64; ++i)
+        loop();
+    sim.runUntil(msToNs(100));
+    sim.runAll(); // drain
+    EXPECT_EQ(outstanding, 0);
+    std::string error;
+    EXPECT_TRUE(dev.ftl().checkInvariants(&error)) << error;
+}
+
+class DeviceScalingTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(DeviceScalingTest, MoreDiesMoreRandReadThroughput)
+{
+    auto [small_dies, large_dies] = GetParam();
+    auto measure = [](uint32_t dies_per_channel) {
+        sim::Simulator sim;
+        ssd::SsdConfig cfg = ssd::samsung980ProLike();
+        cfg.dies_per_channel = dies_per_channel;
+        cfg.link_bw = 100ull * GiB; // don't let the link cap either
+        ssd::SsdDevice dev(sim, cfg, 9);
+        Rng rng(9);
+        uint64_t done = 0;
+        std::function<void()> loop = [&] {
+            uint64_t off = rng.below(cfg.user_capacity / 4096) * 4096;
+            dev.submit(OpType::kRead, off, 4096, [&] {
+                ++done;
+                if (sim.now() < msToNs(20))
+                    loop();
+            });
+        };
+        for (int i = 0; i < 2048; ++i)
+            loop();
+        sim.runUntil(msToNs(20));
+        return done;
+    };
+    uint64_t small = measure(small_dies);
+    uint64_t large = measure(large_dies);
+    EXPECT_GT(large, small * (large_dies / small_dies) * 7 / 10)
+        << "throughput must scale roughly with die count";
+}
+
+INSTANTIATE_TEST_SUITE_P(DiesSweep, DeviceScalingTest,
+                         ::testing::Values(std::make_tuple(2u, 4u),
+                                           std::make_tuple(4u, 8u),
+                                           std::make_tuple(2u, 8u)));
+
+// --- Pipeline conservation for every knob ----------------------------------
+
+class KnobConservationTest
+    : public ::testing::TestWithParam<isolbench::Knob>
+{
+};
+
+TEST_P(KnobConservationTest, RequestsAndBytesConserved)
+{
+    isolbench::ScenarioConfig cfg;
+    cfg.knob = GetParam();
+    cfg.num_cores = 4;
+    cfg.duration = msToNs(400);
+    cfg.warmup = msToNs(100);
+    isolbench::Scenario scenario(cfg);
+
+    uint32_t lc = scenario.addApp(
+        workload::lcApp("lc", msToNs(250)), "lc");
+    workload::JobSpec batch = workload::batchApp("batch", msToNs(250));
+    batch.iodepth = 32;
+    uint32_t b = scenario.addApp(std::move(batch), "batch");
+    scenario.run();
+    // Drain everything in flight (runAll would spin on the periodic
+    // qos timers, which run for the lifetime of the scenario).
+    scenario.sim().runUntil(cfg.duration + msToNs(500));
+
+    blk::BlockDevice &bdev = scenario.device(0);
+    // Nothing lost, nothing duplicated.
+    EXPECT_EQ(bdev.submitted(), bdev.completed());
+    EXPECT_EQ(bdev.inflight(), 0u);
+    EXPECT_EQ(bdev.tagWaiting(), 0u);
+    // All app completions flowed through the device.
+    uint64_t app_ios =
+        scenario.app(lc).totalIos() + scenario.app(b).totalIos();
+    EXPECT_EQ(app_ios, bdev.completed());
+    // Device byte counters match request sizes.
+    EXPECT_EQ(scenario.ssd(0).bytesRead(),
+              scenario.app(lc).totalIos() * 4096 +
+                  scenario.app(b).totalIos() * 4096);
+}
+
+TEST_P(KnobConservationTest, DeterministicAcrossRuns)
+{
+    auto run = [&](uint64_t seed) {
+        isolbench::ScenarioConfig cfg;
+        cfg.knob = GetParam();
+        cfg.num_cores = 2;
+        cfg.duration = msToNs(300);
+        cfg.warmup = msToNs(100);
+        cfg.seed = seed;
+        isolbench::Scenario scenario(cfg);
+        uint32_t a = scenario.addApp(
+            workload::lcApp("a", msToNs(300)), "a");
+        uint32_t b = scenario.addApp(
+            workload::batchApp("b", msToNs(300)), "b");
+        scenario.run();
+        return std::make_tuple(scenario.app(a).totalIos(),
+                               scenario.app(b).totalIos(),
+                               scenario.app(a).latency().percentile(99));
+    };
+    EXPECT_EQ(run(123), run(123)) << "same seed must reproduce exactly";
+    EXPECT_NE(run(123), run(456)) << "different seeds must differ";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnobs, KnobConservationTest,
+    ::testing::Values(isolbench::Knob::kNone,
+                      isolbench::Knob::kMqDeadline, isolbench::Knob::kBfq,
+                      isolbench::Knob::kIoMax, isolbench::Knob::kIoLatency,
+                      isolbench::Knob::kIoCost, isolbench::Knob::kKyber),
+    [](const ::testing::TestParamInfo<isolbench::Knob> &info) {
+        std::string name = isolbench::knobName(info.param);
+        for (char &c : name) {
+            if (c == '.' || c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+// --- Histogram vs exact percentiles (property sweep) ------------------------
+
+class HistogramAccuracyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(HistogramAccuracyTest, PercentilesWithinRelativeError)
+{
+    Rng rng(GetParam());
+    stats::Histogram hist;
+    std::vector<int64_t> exact;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = static_cast<int64_t>(rng.below(1000000) + 1);
+        hist.record(v);
+        exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    for (double p : {50.0, 90.0, 99.0, 99.9}) {
+        auto idx = static_cast<size_t>(p / 100.0 * exact.size());
+        if (idx >= exact.size())
+            idx = exact.size() - 1;
+        double truth = static_cast<double>(exact[idx]);
+        double approx = static_cast<double>(hist.percentile(p));
+        EXPECT_NEAR(approx, truth, truth * 0.05 + 2.0)
+            << "p" << p << " seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace isol

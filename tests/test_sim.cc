@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/simulator.hh"
+
+namespace isol::sim
+{
+namespace
+{
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty()) {
+        auto [when, cb] = q.pop();
+        (void)when;
+        cb();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.pop().second();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidId)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(kInvalidEventId));
+    EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled)
+{
+    EventQueue q;
+    EventId early = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.cancel(early);
+    EXPECT_EQ(q.nextTime(), 20);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EmptyNextTimeIsMax)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTime(), kSimTimeMax);
+}
+
+TEST(Simulator, ClockAdvances)
+{
+    Simulator sim;
+    SimTime seen = -1;
+    sim.at(100, [&] { seen = sim.now(); });
+    sim.runAll();
+    EXPECT_EQ(seen, 100);
+    EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, AfterIsRelative)
+{
+    Simulator sim;
+    std::vector<SimTime> times;
+    sim.at(50, [&] {
+        sim.after(25, [&] { times.push_back(sim.now()); });
+    });
+    sim.runAll();
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_EQ(times[0], 75);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.at(10, [&] { ++fired; });
+    sim.at(20, [&] { ++fired; });
+    sim.at(30, [&] { ++fired; });
+    sim.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 20);
+    sim.runAll();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle)
+{
+    Simulator sim;
+    sim.runUntil(msToNs(5));
+    EXPECT_EQ(sim.now(), msToNs(5));
+}
+
+TEST(Simulator, EventsExecutedCounter)
+{
+    Simulator sim;
+    for (int i = 0; i < 5; ++i)
+        sim.at(i, [] {});
+    sim.runAll();
+    EXPECT_EQ(sim.eventsExecuted(), 5u);
+}
+
+TEST(Simulator, CascadingEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            sim.after(1, chain);
+    };
+    sim.after(1, chain);
+    sim.runAll();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, StepReturnsFalseWhenIdle)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.step());
+    sim.at(5, [] {});
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CancelPendingEvent)
+{
+    Simulator sim;
+    bool fired = false;
+    EventId id = sim.at(10, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.runAll();
+    EXPECT_FALSE(fired);
+}
+
+TEST(PeriodicTimer, FiresEveryPeriod)
+{
+    Simulator sim;
+    std::vector<SimTime> fires;
+    PeriodicTimer timer(sim, 100, [&] { fires.push_back(sim.now()); });
+    timer.start();
+    sim.runUntil(350);
+    EXPECT_EQ(fires, (std::vector<SimTime>{100, 200, 300}));
+}
+
+TEST(PeriodicTimer, StopCeasesFiring)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTimer timer(sim, 100, [&] { ++fires; });
+    timer.start();
+    sim.at(250, [&] { timer.stop(); });
+    sim.runUntil(1000);
+    EXPECT_EQ(fires, 2);
+    EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, RestartAfterStop)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTimer timer(sim, 100, [&] { ++fires; });
+    timer.start();
+    sim.runUntil(150);
+    timer.stop();
+    timer.start();
+    sim.runUntil(450);
+    // One fire at t=100, then restart at t=150 -> fires at 250, 350, 450.
+    EXPECT_EQ(fires, 4);
+}
+
+TEST(PeriodicTimer, StopFromInsideCallback)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTimer timer(sim, 100, [&] {
+        if (++fires == 2)
+            timer.stop();
+    });
+    timer.start();
+    sim.runUntil(10000);
+    EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimer, StartIsIdempotent)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTimer timer(sim, 100, [&] { ++fires; });
+    timer.start();
+    timer.start();
+    sim.runUntil(100);
+    EXPECT_EQ(fires, 1);
+}
+
+} // namespace
+} // namespace isol::sim

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Unit and property tests for the statistics module: histogram precision,
+ * time series binning, Jain fairness, summaries and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "stats/fairness.hh"
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "stats/timeseries.hh"
+
+namespace isol::stats
+{
+namespace
+{
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    h.record(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.percentile(0), 1000);
+    EXPECT_EQ(h.percentile(50), 1000);
+    EXPECT_EQ(h.percentile(100), 1000);
+    EXPECT_EQ(h.max(), 1000);
+    EXPECT_EQ(h.min(), 1000);
+}
+
+TEST(Histogram, SmallValuesExact)
+{
+    Histogram h;
+    for (int64_t v = 0; v < 64; ++v)
+        h.record(v);
+    // Values below the sub-bucket count are stored exactly.
+    EXPECT_EQ(h.percentile(100), 63);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_NEAR(h.mean(), 31.5, 1e-9);
+}
+
+TEST(Histogram, NegativeClampsToZero)
+{
+    Histogram h;
+    h.record(-5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.percentile(100), 0);
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Histogram h;
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        h.record(static_cast<int64_t>(rng.below(1000000)));
+    int64_t prev = 0;
+    for (double p = 0; p <= 100.0; p += 0.5) {
+        int64_t v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Histogram, RelativePrecision)
+{
+    // Every recorded value must be recoverable within the histogram's
+    // relative error bound (1/32 with 64 sub-buckets).
+    Histogram h;
+    for (int64_t v : {100ll, 1000ll, 10000ll, 123456ll, 99999999ll}) {
+        Histogram single;
+        single.record(v);
+        int64_t q = single.percentile(50);
+        EXPECT_GE(q, v);
+        EXPECT_LE(static_cast<double>(q - v),
+                  static_cast<double>(v) / 32.0 + 1.0)
+            << "value " << v << " mapped to " << q;
+    }
+}
+
+TEST(Histogram, UniformPercentiles)
+{
+    Histogram h;
+    for (int64_t v = 1; v <= 100000; ++v)
+        h.record(v);
+    // P50 should be near 50000 within the bucket resolution.
+    EXPECT_NEAR(static_cast<double>(h.percentile(50)), 50000.0, 2000.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(99)), 99000.0, 3500.0);
+}
+
+TEST(Histogram, WeightedRecord)
+{
+    Histogram h;
+    h.record(10, 99);
+    h.record(1000000, 1);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.percentile(50), 10);
+    // The single large value defines the max.
+    EXPECT_EQ(h.percentile(100), 1000000);
+}
+
+TEST(Histogram, RecordZeroCountIsNoop)
+{
+    Histogram h;
+    h.record(10, 0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a;
+    Histogram b;
+    for (int i = 0; i < 100; ++i)
+        a.record(100);
+    for (int i = 0; i < 100; ++i)
+        b.record(10000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_LE(a.percentile(25), 105);
+    EXPECT_GE(a.percentile(75), 10000 * 31 / 32);
+    EXPECT_EQ(a.min(), 100);
+}
+
+TEST(Histogram, Clear)
+{
+    Histogram h;
+    h.record(42);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0);
+    h.record(7);
+    EXPECT_EQ(h.percentile(100), 7);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne)
+{
+    Histogram h;
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i)
+        h.record(static_cast<int64_t>(rng.below(100000)) + 50);
+    auto cdf = h.cdf();
+    ASSERT_FALSE(cdf.empty());
+    double prev_p = 0.0;
+    int64_t prev_v = -1;
+    for (auto [v, p] : cdf) {
+        EXPECT_GT(v, prev_v);
+        EXPECT_GE(p, prev_p);
+        prev_v = v;
+        prev_p = p;
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, MaxIsExact)
+{
+    Histogram h;
+    h.record(123457);
+    EXPECT_EQ(h.max(), 123457);
+    // Percentile is clamped to the true max.
+    EXPECT_LE(h.percentile(100), 123457);
+}
+
+class HistogramPrecisionTest : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(HistogramPrecisionTest, PercentileWithinBound)
+{
+    int64_t value = GetParam();
+    Histogram h;
+    h.record(value);
+    int64_t q = h.percentile(99);
+    EXPECT_GE(q, value);
+    EXPECT_LE(static_cast<double>(q),
+              static_cast<double>(value) * (1.0 + 1.0 / 32.0) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ValuesAcrossMagnitudes, HistogramPrecisionTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000,
+                                           4096, 65535, 1000000, 1 << 30,
+                                           1ll << 40));
+
+TEST(TimeSeries, BinsAccumulate)
+{
+    TimeSeries ts(msToNs(100));
+    ts.add(0, 10);
+    ts.add(msToNs(50), 5);
+    ts.add(msToNs(150), 7);
+    EXPECT_EQ(ts.binTotal(0), 15u);
+    EXPECT_EQ(ts.binTotal(1), 7u);
+    EXPECT_EQ(ts.binTotal(2), 0u);
+    EXPECT_EQ(ts.total(), 22u);
+}
+
+TEST(TimeSeries, RatePerSecond)
+{
+    TimeSeries ts(msToNs(500));
+    ts.add(0, 100);
+    ts.add(msToNs(600), 50);
+    auto rates = ts.ratePerSecond();
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates[0], 200.0); // 100 per half second
+    EXPECT_DOUBLE_EQ(rates[1], 100.0);
+}
+
+TEST(TimeSeries, MeanRateWindow)
+{
+    TimeSeries ts(msToNs(100));
+    for (int i = 0; i < 10; ++i)
+        ts.add(msToNs(100) * i, 100);
+    // Full window: 1000 units over 1 s.
+    EXPECT_NEAR(ts.meanRate(0, secToNs(int64_t{1})), 1000.0, 1e-6);
+    // Half window.
+    EXPECT_NEAR(ts.meanRate(0, msToNs(500)), 1000.0, 1e-6);
+}
+
+TEST(TimeSeries, TotalBetweenHonoursBounds)
+{
+    TimeSeries ts(msToNs(100));
+    ts.add(msToNs(0), 1);
+    ts.add(msToNs(100), 2);
+    ts.add(msToNs(200), 4);
+    EXPECT_EQ(ts.totalBetween(msToNs(100), msToNs(200)), 2u);
+    EXPECT_EQ(ts.totalBetween(msToNs(100), msToNs(300)), 6u);
+    EXPECT_EQ(ts.totalBetween(msToNs(300), msToNs(100)), 0u);
+}
+
+TEST(TimeSeries, NegativeTimeClampsToZero)
+{
+    TimeSeries ts(msToNs(100));
+    ts.add(-5, 3);
+    EXPECT_EQ(ts.binTotal(0), 3u);
+}
+
+TEST(Fairness, PerfectSharing)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({10, 10, 10, 10}), 1.0);
+}
+
+TEST(Fairness, SingleAppIsFair)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({42}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({}), 1.0);
+}
+
+TEST(Fairness, TotalCapture)
+{
+    // One app hogging everything: J = 1/n.
+    EXPECT_NEAR(jainIndex({100, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(Fairness, AllZeroAllocationsAreFair)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({0, 0, 0}), 1.0);
+}
+
+TEST(Fairness, KnownValue)
+{
+    // J([1,2,3]) = 36 / (3 * 14) = 6/7.
+    EXPECT_NEAR(jainIndex({1, 2, 3}), 6.0 / 7.0, 1e-12);
+}
+
+TEST(Fairness, WeightedProportionalIsPerfect)
+{
+    // Allocations exactly proportional to weights.
+    EXPECT_NEAR(weightedJainIndex({10, 20, 30}, {1, 2, 3}), 1.0, 1e-12);
+}
+
+TEST(Fairness, WeightedDetectsDisproportion)
+{
+    // Equal split despite weight 1:9 is unfair.
+    double j = weightedJainIndex({50, 50}, {1, 9});
+    EXPECT_LT(j, 0.7);
+}
+
+TEST(Fairness, WeightedErrorsOnBadInput)
+{
+    EXPECT_THROW(weightedJainIndex({1.0}, {1.0, 2.0}), FatalError);
+    EXPECT_THROW(weightedJainIndex({1.0}, {0.0}), FatalError);
+    EXPECT_THROW(jainIndex({-1.0, 1.0}), FatalError);
+}
+
+TEST(Fairness, ScaleInvariant)
+{
+    double j1 = jainIndex({1, 2, 3, 4});
+    double j2 = jainIndex({10, 20, 30, 40});
+    EXPECT_NEAR(j1, j2, 1e-12);
+}
+
+TEST(Summary, Empty)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleValue)
+{
+    Summary s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, KnownStats)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample stddev of this classic set is sqrt(32/7).
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, NegativeValues)
+{
+    Summary s;
+    s.add(-10.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -10.0);
+}
+
+TEST(Table, AlignedRendering)
+{
+    Table t({"knob", "value"});
+    t.addRow({"io.max", "1.0"});
+    t.addRow({"io.cost", "0.5"});
+    std::string out = t.toAligned();
+    EXPECT_NE(out.find("knob"), std::string::npos);
+    EXPECT_NE(out.find("io.cost"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvEscaping)
+{
+    Table t({"a", "b"});
+    t.addRow({"x,y", "has \"quote\""});
+    std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowArityChecked)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+    EXPECT_THROW(Table({}), FatalError);
+}
+
+} // namespace
+} // namespace isol::stats

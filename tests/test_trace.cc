@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for block-trace parsing/replay and hotspot access skew.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blk/block_device.hh"
+#include "common/logging.hh"
+#include "host/cpu.hh"
+#include "host/engine.hh"
+#include "sim/simulator.hh"
+#include "ssd/config.hh"
+#include "ssd/device.hh"
+#include "workload/app_profiles.hh"
+#include "workload/job.hh"
+#include "workload/trace.hh"
+
+namespace isol::workload
+{
+namespace
+{
+
+TEST(TraceParse, BasicRecords)
+{
+    auto records = parseTraceString(
+        "# a comment\n"
+        "0,R,4096,4096\n"
+        "\n"
+        "125,W,1048576,65536\n");
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].when, 0);
+    EXPECT_EQ(records[0].op, OpType::kRead);
+    EXPECT_EQ(records[0].offset, 4096u);
+    EXPECT_EQ(records[0].size, 4096u);
+    EXPECT_EQ(records[1].when, usToNs(125));
+    EXPECT_EQ(records[1].op, OpType::kWrite);
+}
+
+TEST(TraceParse, AcceptsWordOpsAndSuffixes)
+{
+    auto records = parseTraceString("10,read,1m,64k\n20,write,0,4k\n");
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].offset, MiB);
+    EXPECT_EQ(records[0].size, 64 * KiB);
+    EXPECT_EQ(records[1].op, OpType::kWrite);
+}
+
+TEST(TraceParse, SortsByTimestamp)
+{
+    auto records = parseTraceString("50,R,0,4096\n10,R,4096,4096\n");
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].when, usToNs(10));
+    EXPECT_EQ(records[1].when, usToNs(50));
+}
+
+TEST(TraceParse, RejectsMalformedLines)
+{
+    EXPECT_THROW(parseTraceString("0,R,4096\n"), FatalError);
+    EXPECT_THROW(parseTraceString("0,X,0,4096\n"), FatalError);
+    EXPECT_THROW(parseTraceString("abc,R,0,4096\n"), FatalError);
+    EXPECT_THROW(parseTraceString("0,R,0,0\n"), FatalError);
+}
+
+struct ReplayFixture : public ::testing::Test
+{
+    ReplayFixture()
+        : ssd(sim, ssd::samsung980ProLike(), 31),
+          bdev(sim, tree, ssd, blk::BlockDeviceConfig{}), cpus(sim, 2)
+    {
+        tree.writeFile(tree.root(), "cgroup.subtree_control", "+io");
+        cg = &tree.createChild(tree.root(), "replay");
+        bdev.start();
+    }
+
+    sim::Simulator sim;
+    cgroup::CgroupTree tree;
+    ssd::SsdDevice ssd;
+    blk::BlockDevice bdev;
+    host::CpuSet cpus;
+    cgroup::Cgroup *cg = nullptr;
+};
+
+TEST_F(ReplayFixture, ReplaysAllRecords)
+{
+    std::string text;
+    for (int i = 0; i < 50; ++i)
+        text += strCat(i * 100, ",R,", i * 4096, ",4096\n");
+    TraceReplayer replayer(sim, parseTraceString(text), bdev,
+                           cpus.core(0), host::ioUringEngine(), tree, cg,
+                           1);
+    replayer.schedule();
+    sim.runUntil(msToNs(100));
+    EXPECT_TRUE(replayer.done());
+    EXPECT_EQ(replayer.completed(), 50u);
+    EXPECT_EQ(replayer.latency().count(), 50u);
+    EXPECT_GT(replayer.latency().percentile(50), usToNs(50));
+}
+
+TEST_F(ReplayFixture, OpenLoopTimingRespected)
+{
+    // Two records 10 ms apart: the second must not complete before its
+    // timestamp even though the device is idle.
+    TraceReplayer replayer(sim,
+                           parseTraceString("0,R,0,4096\n10000,R,8192,4096\n"),
+                           bdev, cpus.core(0), host::ioUringEngine(),
+                           tree, cg, 1);
+    replayer.schedule();
+    sim.runUntil(msToNs(5));
+    EXPECT_EQ(replayer.completed(), 1u);
+    sim.runUntil(msToNs(20));
+    EXPECT_EQ(replayer.completed(), 2u);
+}
+
+TEST_F(ReplayFixture, TimeScaleCompresses)
+{
+    TraceReplayer replayer(sim,
+                           parseTraceString("0,R,0,4096\n100000,R,8192,4096\n"),
+                           bdev, cpus.core(0), host::ioUringEngine(),
+                           tree, cg, 1, /*time_scale=*/0.1);
+    replayer.schedule();
+    sim.runUntil(msToNs(15)); // 100 ms record lands at 10 ms
+    EXPECT_EQ(replayer.completed(), 2u);
+}
+
+TEST_F(ReplayFixture, CgroupAttachedDuringReplay)
+{
+    TraceReplayer replayer(sim, parseTraceString("1000,W,0,4096\n"),
+                           bdev, cpus.core(0), host::ioUringEngine(),
+                           tree, cg, 1);
+    replayer.schedule();
+    sim.runUntil(usToNs(500));
+    EXPECT_EQ(cg->processCount(), 1u);
+    sim.runUntil(msToNs(20));
+    EXPECT_EQ(cg->processCount(), 0u);
+    EXPECT_TRUE(replayer.done());
+}
+
+TEST_F(ReplayFixture, RejectsBadTimeScale)
+{
+    EXPECT_THROW(TraceReplayer(sim, {}, bdev, cpus.core(0),
+                               host::ioUringEngine(), tree, cg, 1, 0.0),
+                 FatalError);
+}
+
+// --- Hotspot access skew ---------------------------------------------------
+
+TEST_F(ReplayFixture, HotspotSkewConcentratesTraffic)
+{
+    JobSpec spec = lcApp("hot", msToNs(300));
+    spec.iodepth = 8;
+    spec.range = 1 * GiB;
+    spec.hot_fraction = 0.2;
+    spec.hot_traffic = 0.8;
+    FioJob job(sim, spec, bdev, cpus.core(1), host::ioUringEngine(),
+               tree, cg, 2);
+    job.schedule();
+
+    // Count completions by region via the device byte counters is not
+    // possible; instead sample pickOffset indirectly through a custom
+    // spot check: run and verify the job completed plenty of I/O, then
+    // rely on the distribution test below.
+    sim.runUntil(msToNs(300));
+    EXPECT_GT(job.totalIos(), 1000u);
+}
+
+TEST(HotspotDistribution, EightyTwenty)
+{
+    Rng rng(17);
+    const uint64_t blocks = 100000;
+    uint64_t hot_hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        uint64_t block = pickHotspotBlock(rng, blocks, 0.2, 0.8);
+        ASSERT_LT(block, blocks);
+        hot_hits += block < blocks / 5;
+    }
+    EXPECT_NEAR(static_cast<double>(hot_hits) / n, 0.8, 0.02);
+}
+
+TEST(HotspotDistribution, UniformWithinRegions)
+{
+    Rng rng(19);
+    const uint64_t blocks = 1000;
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i) {
+        uint64_t block = pickHotspotBlock(rng, blocks, 0.5, 0.5);
+        ++counts[block / 100];
+    }
+    // 50/50 over halves: each decile within a half is ~equal.
+    for (int d = 0; d < 5; ++d)
+        EXPECT_NEAR(counts[d], 10000, 800) << "hot decile " << d;
+    for (int d = 5; d < 10; ++d)
+        EXPECT_NEAR(counts[d], 10000, 800) << "cold decile " << d;
+}
+
+TEST(HotspotDistribution, DegenerateFractionCoversRegion)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(pickHotspotBlock(rng, 1, 0.2, 0.8), 1u);
+        EXPECT_LT(pickHotspotBlock(rng, 10, 1.0, 0.5), 10u);
+    }
+}
+
+TEST(HotspotDistribution, SpecValidation)
+{
+    sim::Simulator sim;
+    cgroup::CgroupTree tree;
+    ssd::SsdDevice ssd_dev(sim, ssd::samsung980ProLike(), 41);
+    blk::BlockDevice bdev(sim, tree, ssd_dev, blk::BlockDeviceConfig{});
+    host::CpuSet cpus(sim, 1);
+    JobSpec bad = batchApp("hot", msToNs(10));
+    bad.hot_fraction = 1.5;
+    EXPECT_THROW(FioJob(sim, bad, bdev, cpus.core(0),
+                        host::ioUringEngine(), tree, nullptr, 2),
+                 FatalError);
+}
+
+} // namespace
+} // namespace isol::workload
