@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_iocost.dir/ext_ablation_iocost.cc.o"
+  "CMakeFiles/ext_ablation_iocost.dir/ext_ablation_iocost.cc.o.d"
+  "ext_ablation_iocost"
+  "ext_ablation_iocost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_iocost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

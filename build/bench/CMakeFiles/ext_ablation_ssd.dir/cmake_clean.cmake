@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_ssd.dir/ext_ablation_ssd.cc.o"
+  "CMakeFiles/ext_ablation_ssd.dir/ext_ablation_ssd.cc.o.d"
+  "ext_ablation_ssd"
+  "ext_ablation_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

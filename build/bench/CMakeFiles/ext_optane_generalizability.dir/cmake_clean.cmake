@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_optane_generalizability.dir/ext_optane_generalizability.cc.o"
+  "CMakeFiles/ext_optane_generalizability.dir/ext_optane_generalizability.cc.o.d"
+  "ext_optane_generalizability"
+  "ext_optane_generalizability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_optane_generalizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sched_comparison.dir/ext_sched_comparison.cc.o"
+  "CMakeFiles/ext_sched_comparison.dir/ext_sched_comparison.cc.o.d"
+  "ext_sched_comparison"
+  "ext_sched_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sched_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

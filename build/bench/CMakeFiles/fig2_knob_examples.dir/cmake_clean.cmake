@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_knob_examples.dir/fig2_knob_examples.cc.o"
+  "CMakeFiles/fig2_knob_examples.dir/fig2_knob_examples.cc.o.d"
+  "fig2_knob_examples"
+  "fig2_knob_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_knob_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

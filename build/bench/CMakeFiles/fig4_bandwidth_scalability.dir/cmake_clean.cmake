@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bandwidth_scalability.dir/fig4_bandwidth_scalability.cc.o"
+  "CMakeFiles/fig4_bandwidth_scalability.dir/fig4_bandwidth_scalability.cc.o.d"
+  "fig4_bandwidth_scalability"
+  "fig4_bandwidth_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bandwidth_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

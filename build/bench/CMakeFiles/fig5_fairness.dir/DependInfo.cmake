@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_fairness.cc" "bench/CMakeFiles/fig5_fairness.dir/fig5_fairness.cc.o" "gcc" "bench/CMakeFiles/fig5_fairness.dir/fig5_fairness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isolbench/CMakeFiles/isol_isolbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/isol_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/blk/CMakeFiles/isol_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/isol_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/isol_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/isol_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isol_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

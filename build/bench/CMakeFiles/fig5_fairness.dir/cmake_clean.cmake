@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fairness.dir/fig5_fairness.cc.o"
+  "CMakeFiles/fig5_fairness.dir/fig5_fairness.cc.o.d"
+  "fig5_fairness"
+  "fig5_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fairness_mixed.dir/fig6_fairness_mixed.cc.o"
+  "CMakeFiles/fig6_fairness_mixed.dir/fig6_fairness_mixed.cc.o.d"
+  "fig6_fairness_mixed"
+  "fig6_fairness_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fairness_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

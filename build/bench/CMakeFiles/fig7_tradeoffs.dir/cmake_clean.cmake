@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tradeoffs.dir/fig7_tradeoffs.cc.o"
+  "CMakeFiles/fig7_tradeoffs.dir/fig7_tradeoffs.cc.o.d"
+  "fig7_tradeoffs"
+  "fig7_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

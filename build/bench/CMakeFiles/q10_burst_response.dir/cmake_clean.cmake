@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q10_burst_response.dir/q10_burst_response.cc.o"
+  "CMakeFiles/q10_burst_response.dir/q10_burst_response.cc.o.d"
+  "q10_burst_response"
+  "q10_burst_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q10_burst_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_response.dir/burst_response.cpp.o"
+  "CMakeFiles/burst_response.dir/burst_response.cpp.o.d"
+  "burst_response"
+  "burst_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

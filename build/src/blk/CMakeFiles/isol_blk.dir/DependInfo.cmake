@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blk/bfq.cc" "src/blk/CMakeFiles/isol_blk.dir/bfq.cc.o" "gcc" "src/blk/CMakeFiles/isol_blk.dir/bfq.cc.o.d"
+  "/root/repo/src/blk/block_device.cc" "src/blk/CMakeFiles/isol_blk.dir/block_device.cc.o" "gcc" "src/blk/CMakeFiles/isol_blk.dir/block_device.cc.o.d"
+  "/root/repo/src/blk/kyber.cc" "src/blk/CMakeFiles/isol_blk.dir/kyber.cc.o" "gcc" "src/blk/CMakeFiles/isol_blk.dir/kyber.cc.o.d"
+  "/root/repo/src/blk/mq_deadline.cc" "src/blk/CMakeFiles/isol_blk.dir/mq_deadline.cc.o" "gcc" "src/blk/CMakeFiles/isol_blk.dir/mq_deadline.cc.o.d"
+  "/root/repo/src/blk/qos_cost.cc" "src/blk/CMakeFiles/isol_blk.dir/qos_cost.cc.o" "gcc" "src/blk/CMakeFiles/isol_blk.dir/qos_cost.cc.o.d"
+  "/root/repo/src/blk/qos_latency.cc" "src/blk/CMakeFiles/isol_blk.dir/qos_latency.cc.o" "gcc" "src/blk/CMakeFiles/isol_blk.dir/qos_latency.cc.o.d"
+  "/root/repo/src/blk/qos_max.cc" "src/blk/CMakeFiles/isol_blk.dir/qos_max.cc.o" "gcc" "src/blk/CMakeFiles/isol_blk.dir/qos_max.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cgroup/CMakeFiles/isol_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isol_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/isol_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/isol_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isol_blk.dir/bfq.cc.o"
+  "CMakeFiles/isol_blk.dir/bfq.cc.o.d"
+  "CMakeFiles/isol_blk.dir/block_device.cc.o"
+  "CMakeFiles/isol_blk.dir/block_device.cc.o.d"
+  "CMakeFiles/isol_blk.dir/kyber.cc.o"
+  "CMakeFiles/isol_blk.dir/kyber.cc.o.d"
+  "CMakeFiles/isol_blk.dir/mq_deadline.cc.o"
+  "CMakeFiles/isol_blk.dir/mq_deadline.cc.o.d"
+  "CMakeFiles/isol_blk.dir/qos_cost.cc.o"
+  "CMakeFiles/isol_blk.dir/qos_cost.cc.o.d"
+  "CMakeFiles/isol_blk.dir/qos_latency.cc.o"
+  "CMakeFiles/isol_blk.dir/qos_latency.cc.o.d"
+  "CMakeFiles/isol_blk.dir/qos_max.cc.o"
+  "CMakeFiles/isol_blk.dir/qos_max.cc.o.d"
+  "libisol_blk.a"
+  "libisol_blk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isol_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isol_cgroup.dir/cgroup.cc.o"
+  "CMakeFiles/isol_cgroup.dir/cgroup.cc.o.d"
+  "CMakeFiles/isol_cgroup.dir/knobs.cc.o"
+  "CMakeFiles/isol_cgroup.dir/knobs.cc.o.d"
+  "libisol_cgroup.a"
+  "libisol_cgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isol_cgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

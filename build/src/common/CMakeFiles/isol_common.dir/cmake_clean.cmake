@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isol_common.dir/logging.cc.o"
+  "CMakeFiles/isol_common.dir/logging.cc.o.d"
+  "CMakeFiles/isol_common.dir/strings.cc.o"
+  "CMakeFiles/isol_common.dir/strings.cc.o.d"
+  "libisol_common.a"
+  "libisol_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isol_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isolbench/d1_overhead.cc" "src/isolbench/CMakeFiles/isol_isolbench.dir/d1_overhead.cc.o" "gcc" "src/isolbench/CMakeFiles/isol_isolbench.dir/d1_overhead.cc.o.d"
+  "/root/repo/src/isolbench/d2_fairness.cc" "src/isolbench/CMakeFiles/isol_isolbench.dir/d2_fairness.cc.o" "gcc" "src/isolbench/CMakeFiles/isol_isolbench.dir/d2_fairness.cc.o.d"
+  "/root/repo/src/isolbench/d3_tradeoffs.cc" "src/isolbench/CMakeFiles/isol_isolbench.dir/d3_tradeoffs.cc.o" "gcc" "src/isolbench/CMakeFiles/isol_isolbench.dir/d3_tradeoffs.cc.o.d"
+  "/root/repo/src/isolbench/d4_bursts.cc" "src/isolbench/CMakeFiles/isol_isolbench.dir/d4_bursts.cc.o" "gcc" "src/isolbench/CMakeFiles/isol_isolbench.dir/d4_bursts.cc.o.d"
+  "/root/repo/src/isolbench/scenario.cc" "src/isolbench/CMakeFiles/isol_isolbench.dir/scenario.cc.o" "gcc" "src/isolbench/CMakeFiles/isol_isolbench.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blk/CMakeFiles/isol_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/isol_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isol_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/isol_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/isol_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/isol_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isol_isolbench.dir/d1_overhead.cc.o"
+  "CMakeFiles/isol_isolbench.dir/d1_overhead.cc.o.d"
+  "CMakeFiles/isol_isolbench.dir/d2_fairness.cc.o"
+  "CMakeFiles/isol_isolbench.dir/d2_fairness.cc.o.d"
+  "CMakeFiles/isol_isolbench.dir/d3_tradeoffs.cc.o"
+  "CMakeFiles/isol_isolbench.dir/d3_tradeoffs.cc.o.d"
+  "CMakeFiles/isol_isolbench.dir/d4_bursts.cc.o"
+  "CMakeFiles/isol_isolbench.dir/d4_bursts.cc.o.d"
+  "CMakeFiles/isol_isolbench.dir/scenario.cc.o"
+  "CMakeFiles/isol_isolbench.dir/scenario.cc.o.d"
+  "libisol_isolbench.a"
+  "libisol_isolbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isol_isolbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for isol_isolbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/config.cc" "src/ssd/CMakeFiles/isol_ssd.dir/config.cc.o" "gcc" "src/ssd/CMakeFiles/isol_ssd.dir/config.cc.o.d"
+  "/root/repo/src/ssd/device.cc" "src/ssd/CMakeFiles/isol_ssd.dir/device.cc.o" "gcc" "src/ssd/CMakeFiles/isol_ssd.dir/device.cc.o.d"
+  "/root/repo/src/ssd/ftl.cc" "src/ssd/CMakeFiles/isol_ssd.dir/ftl.cc.o" "gcc" "src/ssd/CMakeFiles/isol_ssd.dir/ftl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/isol_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isol_ssd.dir/config.cc.o"
+  "CMakeFiles/isol_ssd.dir/config.cc.o.d"
+  "CMakeFiles/isol_ssd.dir/device.cc.o"
+  "CMakeFiles/isol_ssd.dir/device.cc.o.d"
+  "CMakeFiles/isol_ssd.dir/ftl.cc.o"
+  "CMakeFiles/isol_ssd.dir/ftl.cc.o.d"
+  "libisol_ssd.a"
+  "libisol_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isol_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isol_stats.dir/fairness.cc.o"
+  "CMakeFiles/isol_stats.dir/fairness.cc.o.d"
+  "CMakeFiles/isol_stats.dir/histogram.cc.o"
+  "CMakeFiles/isol_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/isol_stats.dir/table.cc.o"
+  "CMakeFiles/isol_stats.dir/table.cc.o.d"
+  "CMakeFiles/isol_stats.dir/timeseries.cc.o"
+  "CMakeFiles/isol_stats.dir/timeseries.cc.o.d"
+  "libisol_stats.a"
+  "libisol_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isol_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

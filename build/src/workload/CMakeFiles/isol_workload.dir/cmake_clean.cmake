@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isol_workload.dir/job.cc.o"
+  "CMakeFiles/isol_workload.dir/job.cc.o.d"
+  "CMakeFiles/isol_workload.dir/trace.cc.o"
+  "CMakeFiles/isol_workload.dir/trace.cc.o.d"
+  "libisol_workload.a"
+  "libisol_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isol_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blk_device.dir/test_blk_device.cc.o"
+  "CMakeFiles/test_blk_device.dir/test_blk_device.cc.o.d"
+  "test_blk_device"
+  "test_blk_device.pdb"
+  "test_blk_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blk_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

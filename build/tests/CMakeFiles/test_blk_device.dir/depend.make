@@ -1,0 +1,2 @@
+# Empty dependencies file for test_blk_device.
+# This may be replaced when dependencies are built.

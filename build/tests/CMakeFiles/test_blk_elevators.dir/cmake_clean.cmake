@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blk_elevators.dir/test_blk_elevators.cc.o"
+  "CMakeFiles/test_blk_elevators.dir/test_blk_elevators.cc.o.d"
+  "test_blk_elevators"
+  "test_blk_elevators.pdb"
+  "test_blk_elevators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blk_elevators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

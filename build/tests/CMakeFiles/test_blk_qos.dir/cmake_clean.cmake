@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blk_qos.dir/test_blk_qos.cc.o"
+  "CMakeFiles/test_blk_qos.dir/test_blk_qos.cc.o.d"
+  "test_blk_qos"
+  "test_blk_qos.pdb"
+  "test_blk_qos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blk_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isolbench.dir/test_isolbench.cc.o"
+  "CMakeFiles/test_isolbench.dir/test_isolbench.cc.o.d"
+  "test_isolbench"
+  "test_isolbench.pdb"
+  "test_isolbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isolbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kyber.dir/test_kyber.cc.o"
+  "CMakeFiles/test_kyber.dir/test_kyber.cc.o.d"
+  "test_kyber"
+  "test_kyber.pdb"
+  "test_kyber[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kyber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolbench_cli.dir/isolbench_cli.cc.o"
+  "CMakeFiles/isolbench_cli.dir/isolbench_cli.cc.o.d"
+  "isolbench"
+  "isolbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
