@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Degradation study (D5): does a cgroup I/O knob keep protecting the
+ * LC-app when the BE tenant's LBA range sits on failing media?
+ *
+ * Each knob runs twice with identical seeds — once healthy, once with
+ * the full fault profile (media read-retry ladders, grown bad blocks,
+ * latency spikes, thermal throttling, NVMe command timeouts) — and the
+ * table reports the LC P99 / bandwidth deltas plus the fault counters.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "isolbench/d5_degradation.hh"
+
+using namespace isol;
+using namespace isol::isolbench;
+
+int
+main()
+{
+    DegradationOptions opts;
+    opts.duration = msToNs(800);
+    opts.warmup = msToNs(200);
+
+    std::vector<DegradationResult> results;
+    for (Knob knob : {Knob::kNone, Knob::kIoLatency, Knob::kIoCost}) {
+        std::printf("running %s (healthy + degraded)...\n",
+                    knobName(knob));
+        results.push_back(runDegradation(knob, opts));
+    }
+    std::fputs(degradationTable(results).toAligned().c_str(), stdout);
+    return 0;
+}

@@ -27,6 +27,7 @@
 #include "blk/qos_latency.hh"
 #include "blk/qos_max.hh"
 #include "blk/request.hh"
+#include "fault/fault.hh"
 #include "sim/simulator.hh"
 #include "ssd/device.hh"
 #include "ssd/resource.hh"
@@ -79,6 +80,9 @@ struct BlockDeviceConfig
     SimTime iomax_cpu = nsToNs(450);
     SimTime iolat_cpu = nsToNs(200);
     SimTime iocost_cpu = nsToNs(300);
+
+    /** NVMe command-timeout handling (disabled by default). */
+    fault::TimeoutFaultConfig nvme_timeout;
 };
 
 /**
@@ -141,6 +145,9 @@ class BlockDevice
     uint64_t submitted() const { return submitted_; }
     uint64_t completed() const { return completed_; }
     uint32_t inflight() const { return inflight_; }
+
+    /** Command-timeout / retry counters (all zero when disabled). */
+    const fault::HostFaultStats &faultStats() const { return fault_stats_; }
     size_t tagWaiting() const { return tag_wait_.size(); }
     IoMaxGate *ioMaxGate() { return io_max_.get(); }
     IoLatencyGate *ioLatencyGate() { return io_latency_.get(); }
@@ -155,7 +162,9 @@ class BlockDevice
     void enterElevator(Request *req);
     void pumpDispatch();
     void issueToDevice(Request *req);
-    void onDeviceComplete(Request *req);
+    void onDeviceComplete(Request *req, uint64_t attempt);
+    void onCommandTimeout(Request *req, uint64_t attempt);
+    void finishRequest(Request *req);
 
     sim::Simulator &sim_;
     cgroup::CgroupTree &tree_;
@@ -177,6 +186,12 @@ class BlockDevice
     uint64_t submitted_ = 0;
     uint64_t completed_ = 0;
     uint32_t submitters_ = 0;
+
+    // Command-timeout state. Attempt ids are device-global and strictly
+    // increasing: submitters recycle Request slots, so a late completion
+    // of an aborted attempt must be matched by id, not by pointer.
+    fault::HostFaultStats fault_stats_;
+    uint64_t attempt_seq_ = 0;
 };
 
 } // namespace isol::blk

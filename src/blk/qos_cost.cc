@@ -209,6 +209,19 @@ IoCostGate::tryCharge(CgState &st, Request *req)
 }
 
 void
+IoCostGate::chargeRetry(Request *req)
+{
+    if (req->cg == nullptr)
+        return;
+    CgState &st = stateFor(req->cg);
+    activate(st);
+    updateVnow();
+    double abs = static_cast<double>(absCost(*req));
+    st.vtime += abs / std::max(st.share, 1e-9);
+    st.period_abs += abs;
+}
+
+void
 IoCostGate::submit(Request *req)
 {
     CgState &st = stateFor(req->cg);

@@ -87,6 +87,15 @@ class IoCostGate
     /** Device-side completion hook (dispatch -> complete latency). */
     void onDeviceComplete(Request *req);
 
+    /**
+     * Charge the issuing group for one retried attempt of `req`: the
+     * aborted attempt's device time is spent, so the group is debited a
+     * full absCost even though no completion arrives — retried work is
+     * visible to the knob (the group may run into vtime debt and be
+     * throttled on its next submission).
+     */
+    void chargeRetry(Request *req);
+
     /** Current vrate in [qos.min, qos.max] / 100. */
     double vrate() const { return vrate_; }
 

@@ -11,6 +11,7 @@
 
 #include "cgroup/cgroup.hh"
 #include "common/types.hh"
+#include "sim/event_queue.hh"
 
 namespace isol::blk
 {
@@ -64,6 +65,20 @@ struct Request
 
     /** Resolved I/O priority class (from the cgroup, at submit). */
     cgroup::PrioClass prio = cgroup::PrioClass::kNoChange;
+
+    // --- NVMe command-timeout state (managed by the BlockDevice) ---
+
+    /** Requeues so far (0 on the first attempt). */
+    uint32_t retries = 0;
+
+    /** Id of the current device attempt (stale completions are dropped). */
+    uint64_t attempt = 0;
+
+    /** Armed command-timeout event for the in-flight attempt. */
+    sim::EventId timeout_event = sim::kInvalidEventId;
+
+    /** The request failed after exhausting its retries. */
+    bool failed = false;
 };
 
 } // namespace isol::blk

@@ -1,0 +1,59 @@
+#include "fault/fault.hh"
+
+namespace isol::fault
+{
+
+const char *
+profileName(Profile profile)
+{
+    switch (profile) {
+      case Profile::kOff: return "off";
+      case Profile::kMedia: return "media";
+      case Profile::kThermal: return "thermal";
+      case Profile::kAll: return "all";
+    }
+    return "?";
+}
+
+std::optional<Profile>
+parseProfile(std::string_view text)
+{
+    if (text == "off")
+        return Profile::kOff;
+    if (text == "media")
+        return Profile::kMedia;
+    if (text == "thermal")
+        return Profile::kThermal;
+    if (text == "all")
+        return Profile::kAll;
+    return std::nullopt;
+}
+
+FaultPlane
+profileConfig(Profile profile)
+{
+    FaultPlane plane;
+    switch (profile) {
+      case Profile::kOff:
+        break;
+      case Profile::kMedia:
+        plane.device.media.enabled = true;
+        plane.device.media.faulty_die_fraction = 0.125;
+        plane.device.media.spike_rate_hz = 50.0;
+        plane.timeout.enabled = true;
+        break;
+      case Profile::kThermal:
+        plane.device.thermal.enabled = true;
+        break;
+      case Profile::kAll:
+        plane.device.media.enabled = true;
+        plane.device.media.faulty_die_fraction = 0.125;
+        plane.device.media.spike_rate_hz = 50.0;
+        plane.device.thermal.enabled = true;
+        plane.timeout.enabled = true;
+        break;
+    }
+    return plane;
+}
+
+} // namespace isol::fault

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deterministic fault-injection plane: configuration and counters.
+ *
+ * The paper evaluates the cgroup I/O knobs on healthy devices only; this
+ * subsystem lets every layer of the simulated stack misbehave on demand —
+ * reproducibly. Three fault families are modelled:
+ *
+ *  - media faults (device): uncorrectable-read probability driving a
+ *    read-retry ladder with escalating tR steps, grown bad blocks that
+ *    the FTL remaps (shrinking spare capacity), and transient
+ *    latency-spike windows that slow every die operation;
+ *  - thermal throttling (device): a heat accumulator fed by program
+ *    activity; past the high watermark the controller stretches program
+ *    latency, capping write bandwidth until the device cools;
+ *  - NVMe command timeouts (host/blk): in-flight commands that exceed
+ *    the timeout are aborted and requeued with capped exponential
+ *    backoff; retried work is visible to (and charged by) the QoS knobs.
+ *
+ * All randomness is drawn from dedicated xoshiro streams seeded from the
+ * owning device's seed, so runs are bit-reproducible and the plane is
+ * strictly opt-in: with every family disabled, no RNG draw and no code
+ * path differs from a fault-free build.
+ */
+
+#ifndef ISOL_FAULT_FAULT_HH
+#define ISOL_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace isol::fault
+{
+
+/** Named fault-plane presets selectable from the CLI (--faults). */
+enum class Profile : uint8_t
+{
+    kOff, //!< no faults (default; behaviour identical to the seed)
+    kMedia, //!< media errors + latency spikes + NVMe timeouts
+    kThermal, //!< thermal throttling only
+    kAll, //!< everything
+};
+
+/** CLI name of a profile ("off", "media", "thermal", "all"). */
+const char *profileName(Profile profile);
+
+/** Parse a CLI profile name; nullopt on unknown input. */
+std::optional<Profile> parseProfile(std::string_view text);
+
+/**
+ * Media-error model parameters (per device).
+ *
+ * A read is "degraded" when its die index falls in the first
+ * `faulty_die_fraction` of the dies or its LBA falls inside the
+ * [faulty_lba_begin, faulty_lba_begin + faulty_lba_len) window (both
+ * expressed as fractions of the device). Degraded reads fail with
+ * `faulty_read_error_prob`, healthy ones with `read_error_prob`; a
+ * failed read climbs the retry ladder, each step multiplying tR by
+ * another `retry_step_factor` until it succeeds or the ladder is
+ * exhausted (an uncorrectable error).
+ */
+struct MediaFaultConfig
+{
+    bool enabled = false;
+
+    double read_error_prob = 2e-4; //!< per-page failure, healthy media
+    double faulty_read_error_prob = 0.05; //!< per-page, degraded media
+    double faulty_die_fraction = 0.0; //!< first N dies are degraded
+    double faulty_lba_begin = 0.0; //!< degraded LBA window start (frac)
+    double faulty_lba_len = 0.0; //!< degraded LBA window length (frac)
+
+    uint32_t retry_ladder_steps = 4; //!< max retries before giving up
+    double retry_step_factor = 1.7; //!< tR multiplier added per step
+    double retry_fail_prob = 0.35; //!< chance a retry step also fails
+    double remap_prob = 0.05; //!< ladder top => grown-bad-block remap
+
+    double spike_rate_hz = 0.0; //!< mean latency-spike events per second
+    SimTime spike_duration = msToNs(2); //!< length of one spike window
+    double spike_factor = 8.0; //!< service multiplier inside a window
+};
+
+/**
+ * Thermal-throttle parameters (per device).
+ *
+ * Heat accumulates with program busy time (in die-ns) and decays at
+ * `cool_rate` die-ns per ns — i.e. the device can sustain `cool_rate`
+ * concurrently-programming dies indefinitely. Above the high watermark
+ * the controller enters throttle mode (program latency multiplied by
+ * `throttle_factor`, capping program bandwidth) until the heat falls
+ * below the low watermark.
+ */
+struct ThermalFaultConfig
+{
+    bool enabled = false;
+
+    double heat_per_busy_ns = 1.0; //!< heat gained per program busy ns
+    double cool_rate = 20.0; //!< heat shed per wall ns (die-ns/ns)
+    double high_watermark = 2.0e9; //!< enter throttle above this heat
+    double low_watermark = 1.0e9; //!< leave throttle below this heat
+    double throttle_factor = 3.0; //!< program-latency multiplier
+};
+
+/**
+ * NVMe command-timeout handling (host/blk side).
+ *
+ * An in-flight command that has not completed after `command_timeout`
+ * is aborted and requeued after min(backoff_base * 2^retries,
+ * backoff_cap); after `max_retries` requeues the request completes as
+ * failed. The aborted attempt's device time is already spent — as on
+ * real hardware, where an abort cannot reclaim die busy time.
+ */
+struct TimeoutFaultConfig
+{
+    bool enabled = false;
+
+    SimTime command_timeout = msToNs(30); //!< abort threshold
+    uint32_t max_retries = 4; //!< requeues before failing the I/O
+    SimTime backoff_base = usToNs(200); //!< first requeue delay
+    SimTime backoff_cap = msToNs(20); //!< exponential backoff ceiling
+};
+
+/** Device-side fault families (owned by the SSD model). */
+struct DeviceFaultConfig
+{
+    MediaFaultConfig media;
+    ThermalFaultConfig thermal;
+
+    bool any() const { return media.enabled || thermal.enabled; }
+};
+
+/** The whole fault plane: device-side families plus host-side timeouts. */
+struct FaultPlane
+{
+    DeviceFaultConfig device;
+    TimeoutFaultConfig timeout;
+
+    bool any() const { return device.any() || timeout.enabled; }
+};
+
+/** Build the fault plane a named profile stands for. */
+FaultPlane profileConfig(Profile profile);
+
+/** Device-side fault counters (one set per simulated SSD). */
+struct DeviceFaultStats
+{
+    uint64_t read_retries = 0; //!< extra read attempts (ladder steps)
+    uint64_t uncorrectable = 0; //!< reads that exhausted the ladder
+    uint64_t remapped_blocks = 0; //!< grown bad blocks retired by the FTL
+    uint64_t spike_events = 0; //!< latency-spike windows entered
+    SimTime throttle_ns = 0; //!< time spent in thermal throttle mode
+};
+
+/** Host-side (block layer) fault counters, one set per block device. */
+struct HostFaultStats
+{
+    uint64_t timeouts = 0; //!< commands that hit the timeout
+    uint64_t aborts = 0; //!< aborted in-flight attempts
+    uint64_t requeues = 0; //!< retries issued after backoff
+    uint64_t retry_successes = 0; //!< requests completing after >=1 retry
+    uint64_t failed_ios = 0; //!< requests failed after max_retries
+    uint64_t late_completions = 0; //!< aborted attempts finishing anyway
+};
+
+} // namespace isol::fault
+
+#endif // ISOL_FAULT_FAULT_HH

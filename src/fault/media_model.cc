@@ -1,0 +1,154 @@
+#include "fault/media_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace isol::fault
+{
+
+MediaFaultModel::MediaFaultModel(const DeviceFaultConfig &cfg,
+                                 uint32_t num_dies,
+                                 uint64_t capacity_bytes, uint64_t seed)
+    : cfg_(cfg), num_dies_(num_dies), capacity_(capacity_bytes),
+      rng_(seed)
+{
+    if (cfg_.media.enabled) {
+        if (cfg_.media.retry_ladder_steps == 0)
+            fatal("MediaFaultConfig: retry_ladder_steps must be >= 1");
+        if (cfg_.media.retry_step_factor < 1.0)
+            fatal("MediaFaultConfig: retry_step_factor must be >= 1");
+    }
+    if (cfg_.thermal.enabled &&
+        cfg_.thermal.low_watermark > cfg_.thermal.high_watermark) {
+        fatal("ThermalFaultConfig: low watermark above high watermark");
+    }
+}
+
+bool
+MediaFaultModel::dieFaulty(uint32_t die) const
+{
+    if (!cfg_.media.enabled || cfg_.media.faulty_die_fraction <= 0.0)
+        return false;
+    auto faulty = static_cast<uint32_t>(cfg_.media.faulty_die_fraction *
+                                        static_cast<double>(num_dies_));
+    return die < faulty;
+}
+
+bool
+MediaFaultModel::offsetFaulty(uint64_t offset) const
+{
+    if (!cfg_.media.enabled || cfg_.media.faulty_lba_len <= 0.0)
+        return false;
+    auto begin = static_cast<uint64_t>(cfg_.media.faulty_lba_begin *
+                                       static_cast<double>(capacity_));
+    auto len = static_cast<uint64_t>(cfg_.media.faulty_lba_len *
+                                     static_cast<double>(capacity_));
+    return offset >= begin && offset - begin < len;
+}
+
+MediaFaultModel::ReadOutcome
+MediaFaultModel::readOutcome(uint64_t offset, uint32_t die,
+                             SimTime base_service)
+{
+    ReadOutcome out;
+    out.service = base_service;
+    if (!cfg_.media.enabled)
+        return out;
+
+    const MediaFaultConfig &m = cfg_.media;
+    bool degraded = dieFaulty(die) || offsetFaulty(offset);
+    double fail_prob =
+        degraded ? m.faulty_read_error_prob : m.read_error_prob;
+    if (fail_prob <= 0.0 || !rng_.chance(fail_prob))
+        return out;
+
+    // The first attempt failed: climb the ladder. Step k re-reads with
+    // tR scaled by retry_step_factor^k (longer sensing / stronger ECC),
+    // until a step succeeds or the ladder tops out.
+    double step_service = static_cast<double>(base_service);
+    for (uint32_t step = 1; step <= m.retry_ladder_steps; ++step) {
+        step_service *= m.retry_step_factor;
+        out.service += static_cast<SimTime>(step_service);
+        ++out.retries;
+        ++stats_.read_retries;
+        bool last = step == m.retry_ladder_steps;
+        if (!rng_.chance(m.retry_fail_prob))
+            break; // this retry step recovered the data
+        if (last) {
+            out.uncorrectable = true;
+            ++stats_.uncorrectable;
+        }
+    }
+
+    // Repeated-retry or uncorrectable reads flag a weak block; with
+    // remap_prob the controller declares it a grown bad block and asks
+    // the FTL to remap it (shrinking spare capacity).
+    if ((out.uncorrectable || out.retries >= 2) && m.remap_prob > 0.0 &&
+        rng_.chance(m.remap_prob)) {
+        out.remap = true;
+    }
+    return out;
+}
+
+void
+MediaFaultModel::advanceSpikes(SimTime now)
+{
+    const MediaFaultConfig &m = cfg_.media;
+    double mean_gap_ns = 1e9 / m.spike_rate_hz;
+    if (next_spike_ < 0) {
+        next_spike_ = static_cast<SimTime>(rng_.exponential(mean_gap_ns));
+    }
+    while (now >= next_spike_) {
+        spike_until_ = next_spike_ + m.spike_duration;
+        ++stats_.spike_events;
+        next_spike_ = spike_until_ + static_cast<SimTime>(
+                                         rng_.exponential(mean_gap_ns));
+    }
+}
+
+double
+MediaFaultModel::serviceMultiplier(SimTime now)
+{
+    if (!cfg_.media.enabled || cfg_.media.spike_rate_hz <= 0.0)
+        return 1.0;
+    advanceSpikes(now);
+    return now < spike_until_ ? cfg_.media.spike_factor : 1.0;
+}
+
+void
+MediaFaultModel::updateHeat(SimTime now)
+{
+    if (now <= heat_updated_)
+        return;
+    SimTime elapsed = now - heat_updated_;
+    if (throttling_)
+        stats_.throttle_ns += elapsed;
+    heat_ -= cfg_.thermal.cool_rate * static_cast<double>(elapsed);
+    heat_ = std::max(heat_, 0.0);
+    heat_updated_ = now;
+    if (throttling_ && heat_ < cfg_.thermal.low_watermark)
+        throttling_ = false;
+}
+
+void
+MediaFaultModel::noteProgram(SimTime now, SimTime busy_ns)
+{
+    if (!cfg_.thermal.enabled)
+        return;
+    updateHeat(now);
+    heat_ += cfg_.thermal.heat_per_busy_ns * static_cast<double>(busy_ns);
+    if (!throttling_ && heat_ > cfg_.thermal.high_watermark)
+        throttling_ = true;
+}
+
+double
+MediaFaultModel::programMultiplier(SimTime now)
+{
+    if (!cfg_.thermal.enabled)
+        return 1.0;
+    updateHeat(now);
+    return throttling_ ? cfg_.thermal.throttle_factor : 1.0;
+}
+
+} // namespace isol::fault

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Per-device fault model runtime: read-retry ladders, latency-spike
+ * windows, and the thermal heat accumulator.
+ *
+ * The model is passive — the SSD device queries it on each operation and
+ * applies the returned service-time adjustments. All state transitions
+ * are pull-based and advance deterministically with simulated time, so
+ * two runs with the same seed produce identical fault sequences.
+ */
+
+#ifndef ISOL_FAULT_MEDIA_MODEL_HH
+#define ISOL_FAULT_MEDIA_MODEL_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "fault/fault.hh"
+
+namespace isol::fault
+{
+
+/**
+ * Runtime fault state of one device.
+ */
+class MediaFaultModel
+{
+  public:
+    /**
+     * @param cfg device-side fault families
+     * @param num_dies dies in the owning device
+     * @param capacity_bytes user-visible LBA space of the device
+     * @param seed RNG seed (derive from the device seed for reproducible
+     *             per-device fault streams)
+     */
+    MediaFaultModel(const DeviceFaultConfig &cfg, uint32_t num_dies,
+                    uint64_t capacity_bytes, uint64_t seed);
+
+    bool mediaEnabled() const { return cfg_.media.enabled; }
+    bool thermalEnabled() const { return cfg_.thermal.enabled; }
+
+    /** Whether `die` sits in the configured degraded-die region. */
+    bool dieFaulty(uint32_t die) const;
+
+    /** Whether byte offset `offset` falls in the degraded LBA window. */
+    bool offsetFaulty(uint64_t offset) const;
+
+    /** Result of pushing one page read through the media-error model. */
+    struct ReadOutcome
+    {
+        SimTime service = 0; //!< total die busy time incl. retries
+        uint32_t retries = 0; //!< extra attempts taken
+        bool uncorrectable = false; //!< ladder exhausted
+        bool remap = false; //!< grown bad block: FTL should remap
+    };
+
+    /**
+     * Evaluate the retry ladder for one page read.
+     *
+     * @param offset byte offset of the page (degraded-window test)
+     * @param die die serving the read (degraded-die test)
+     * @param base_service healthy (jittered) tR for one attempt
+     */
+    ReadOutcome readOutcome(uint64_t offset, uint32_t die,
+                            SimTime base_service);
+
+    /**
+     * Latency-spike multiplier at time `now`, applied to every die
+     * operation. Advances the spike schedule as time passes; 1.0 when
+     * spikes are disabled or no window is active.
+     */
+    double serviceMultiplier(SimTime now);
+
+    /** Record `busy_ns` of program activity (heats the device). */
+    void noteProgram(SimTime now, SimTime busy_ns);
+
+    /** Thermal program-latency multiplier at time `now`. */
+    double programMultiplier(SimTime now);
+
+    /** True while the device is thermally throttled. */
+    bool throttling() const { return throttling_; }
+
+    const DeviceFaultStats &stats() const { return stats_; }
+
+    /** Device-owned counter hook (the SSD adds remap counts here). */
+    DeviceFaultStats &mutableStats() { return stats_; }
+
+  private:
+    /** Advance spike windows up to `now` (draws RNG per window). */
+    void advanceSpikes(SimTime now);
+
+    /** Decay heat to `now`; accounts throttle time transitions. */
+    void updateHeat(SimTime now);
+
+    DeviceFaultConfig cfg_;
+    uint32_t num_dies_;
+    uint64_t capacity_;
+    Rng rng_;
+
+    // Latency-spike schedule.
+    SimTime next_spike_ = -1; //!< start of the next window (-1 = unset)
+    SimTime spike_until_ = -1; //!< end of the active/last window
+
+    // Thermal accumulator.
+    double heat_ = 0.0;
+    SimTime heat_updated_ = 0;
+    bool throttling_ = false;
+
+    DeviceFaultStats stats_;
+};
+
+} // namespace isol::fault
+
+#endif // ISOL_FAULT_MEDIA_MODEL_HH

@@ -27,6 +27,7 @@
 
 #include "blk/block_device.hh"
 #include "cgroup/cgroup.hh"
+#include "fault/fault.hh"
 #include "host/cpu.hh"
 #include "host/engine.hh"
 #include "sim/simulator.hh"
@@ -89,6 +90,12 @@ struct ScenarioConfig
 
     /** Ablation: run the iocost period timer as host CPU work. */
     bool iocost_timer_on_cpu = true;
+
+    /**
+     * Fault-injection plane (strictly opt-in; the default keeps every
+     * family disabled and the scenario identical to a fault-free build).
+     */
+    fault::FaultPlane faults;
 };
 
 /** The paper-default generated cost model (~2.3 GiB/s read saturation). */

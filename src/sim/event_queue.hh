@@ -68,7 +68,7 @@ class EventQueue
 
     /** True when no live (non-cancelled) events remain. */
     bool
-    empty()
+    empty() const
     {
         skipCancelled();
         return heap_.empty();
@@ -88,7 +88,7 @@ class EventQueue
 
     /** Time of the earliest live event; kSimTimeMax when empty. */
     SimTime
-    nextTime()
+    nextTime() const
     {
         skipCancelled();
         return heap_.empty() ? kSimTimeMax : heap_.top().when;
@@ -130,9 +130,13 @@ class EventQueue
         }
     };
 
-    /** Drop cancelled events sitting at the top of the heap. */
+    /**
+     * Drop cancelled events sitting at the top of the heap. Logically
+     * const (the set of live events is unchanged), so the lazy cleanup
+     * may run from const observers like empty()/nextTime().
+     */
     void
-    skipCancelled()
+    skipCancelled() const
     {
         while (!heap_.empty()) {
             auto it = cancelled_.find(heap_.top().id);
@@ -143,8 +147,8 @@ class EventQueue
         }
     }
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
-    std::unordered_set<EventId> cancelled_;
+    mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    mutable std::unordered_set<EventId> cancelled_;
     EventId next_id_ = 1;
 };
 

@@ -61,7 +61,7 @@ class Simulator
     bool cancel(EventId id) { return queue_.cancel(id); }
 
     /** True when no further events are pending. */
-    bool idle() { return queue_.empty(); }
+    bool idle() const { return queue_.empty(); }
 
     /**
      * Run events with time <= `deadline`; afterwards now() == deadline
@@ -77,12 +77,25 @@ class Simulator
             now_ = deadline;
     }
 
-    /** Run until the event queue is empty. */
+    /**
+     * Run until the event queue is empty. A non-zero `max_events` caps
+     * how many events this call may execute: self-rescheduling event
+     * storms (e.g. a mis-wired periodic timer) then fail loudly instead
+     * of hanging the process.
+     */
     void
-    runAll()
+    runAll(uint64_t max_events = 0)
     {
-        while (!queue_.empty())
+        uint64_t executed = 0;
+        while (!queue_.empty()) {
+            if (max_events != 0 && executed >= max_events) {
+                fatal(strCat("Simulator::runAll: executed ", executed,
+                             " events without draining the queue — "
+                             "event storm? (limit ", max_events, ")"));
+            }
             step();
+            ++executed;
+        }
     }
 
     /** Execute exactly one event; returns false if none were pending. */

@@ -28,7 +28,10 @@ constexpr double kFlushPressure = 0.75;
 
 SsdDevice::SsdDevice(sim::Simulator &sim, const SsdConfig &cfg,
                      uint64_t seed)
-    : sim_(sim), cfg_(cfg), rng_(seed), ftl_(cfg), link_(sim)
+    : sim_(sim), cfg_(cfg), rng_(seed), ftl_(cfg),
+      faults_(cfg.faults, cfg.numDies(), cfg.user_capacity,
+              seed ^ 0x9e3779b97f4a7c15ULL),
+      link_(sim)
 {
     const uint32_t dies = cfg_.numDies();
     dies_.resize(dies);
@@ -56,9 +59,13 @@ SsdDevice::precondition(double fill_fraction, double overwrite_passes)
 SimTime
 SsdDevice::jitter(SimTime base)
 {
-    if (cfg_.latency_jitter <= 0.0)
+    double factor = 1.0;
+    if (cfg_.latency_jitter > 0.0)
+        factor = 1.0 + cfg_.latency_jitter * (2.0 * rng_.uniform() - 1.0);
+    // Injected latency-spike windows slow every die operation.
+    factor *= faults_.serviceMultiplier(sim_.now());
+    if (factor == 1.0)
         return base;
-    double factor = 1.0 + cfg_.latency_jitter * (2.0 * rng_.uniform() - 1.0);
     return static_cast<SimTime>(static_cast<double>(base) * factor);
 }
 
@@ -69,6 +76,19 @@ SsdDevice::readServiceTime()
     if (cfg_.slow_read_prob > 0.0 && rng_.chance(cfg_.slow_read_prob)) {
         t = static_cast<SimTime>(static_cast<double>(t) *
                                  cfg_.slow_read_factor);
+    }
+    return t;
+}
+
+SimTime
+SsdDevice::programTime()
+{
+    SimTime t = jitter(cfg_.program_latency);
+    if (faults_.thermalEnabled()) {
+        double mult = faults_.programMultiplier(sim_.now());
+        if (mult != 1.0)
+            t = static_cast<SimTime>(static_cast<double>(t) * mult);
+        faults_.noteProgram(sim_.now(), t);
     }
     return t;
 }
@@ -186,13 +206,24 @@ SsdDevice::submitFlashRead(uint64_t offset, uint32_t size, Callback done)
 {
     uint64_t first = offset / cfg_.page_size;
     uint64_t last = (offset + size - 1) / cfg_.page_size;
-    auto *state = new ReadState{static_cast<uint32_t>(last - first + 1),
-                                size, std::move(done)};
+    // shared_ptr so I/O cut off by the end of the simulation (its events
+    // destroyed unfired) still releases the completion state.
+    auto state = std::shared_ptr<ReadState>(new ReadState{
+        static_cast<uint32_t>(last - first + 1), size, std::move(done)});
 
     for (uint64_t lpn = first; lpn <= last; ++lpn) {
         PhysLoc loc = ftl_.lookupRead(lpn);
         uint32_t die = loc.die;
         SimTime service = readServiceTime();
+        if (faults_.mediaEnabled()) {
+            fault::MediaFaultModel::ReadOutcome out =
+                faults_.readOutcome(lpn * cfg_.page_size, die, service);
+            service = out.service;
+            // The read is serviced from the failing block, then the FTL
+            // remaps the survivors and retires the block.
+            if (out.remap && ftl_.growBadBlock(lpn))
+                ++faults_.mutableStats().remapped_blocks;
+        }
         dieRead(die, service, [this, die, state] {
             SimTime xfer = transferTime(cfg_.page_size, cfg_.channel_bw);
             channelOf(die).enqueue(xfer, [this, state] {
@@ -204,7 +235,7 @@ SsdDevice::submitFlashRead(uint64_t offset, uint32_t size, Callback done)
 }
 
 void
-SsdDevice::finishRead(ReadState *state)
+SsdDevice::finishRead(const std::shared_ptr<ReadState> &state)
 {
     // The controller latency is per-request pipeline latency, not link
     // occupancy: completion fires controller_latency after the DMA, but
@@ -212,7 +243,6 @@ SsdDevice::finishRead(ReadState *state)
     SimTime xfer = transferTime(state->size, cfg_.link_bw);
     uint32_t size = state->size;
     Callback done = std::move(state->done);
-    delete state;
     link_.enqueue(xfer, [this, size, done = std::move(done)]() mutable {
         sim_.after(cfg_.controller_latency,
                    [this, size, done = std::move(done)] {
@@ -238,11 +268,10 @@ SsdDevice::submitFlashWrite(uint64_t offset, uint32_t size, Callback done)
     admit.done = std::move(done);
 
     SimTime xfer = transferTime(size, cfg_.link_bw);
-    auto *boxed = new WriteAdmit(std::move(admit));
+    auto boxed = std::make_shared<WriteAdmit>(std::move(admit));
     link_.enqueue(xfer, [this, boxed] {
         sim_.after(cfg_.controller_latency, [this, boxed] {
             cache_wait_.push_back(std::move(*boxed));
-            delete boxed;
             tryAdmitWrites();
         });
     });
@@ -294,7 +323,7 @@ SsdDevice::pumpDiePrograms(uint32_t die)
 
         SimTime xfer = transferTime(cfg_.page_size, cfg_.channel_bw);
         channelOf(die).enqueue(xfer, [this, die] {
-            SimTime prog = jitter(cfg_.program_latency);
+            SimTime prog = programTime();
             dieWrite(die, prog, [this, die] { onProgramDone(die); });
         });
     }
@@ -342,7 +371,7 @@ SsdDevice::pumpGc(uint32_t die)
     if (ftl_.gcHasMove(die)) {
         gc_active_[die] = true;
         // Die-internal copyback: read + program back-to-back on the die.
-        SimTime move = readServiceTime() + jitter(cfg_.program_latency);
+        SimTime move = readServiceTime() + programTime();
         dieWrite(die, move, [this, die] {
             ftl_.gcCommitMove(die);
             gc_active_[die] = false;
@@ -363,8 +392,8 @@ SsdDevice::submitPcm(OpType op, uint64_t offset, uint32_t size,
 {
     uint64_t first = offset / cfg_.page_size;
     uint64_t last = (offset + size - 1) / cfg_.page_size;
-    auto *state = new ReadState{static_cast<uint32_t>(last - first + 1),
-                                size, std::move(done)};
+    auto state = std::shared_ptr<ReadState>(new ReadState{
+        static_cast<uint32_t>(last - first + 1), size, std::move(done)});
     bool is_read = op == OpType::kRead;
 
     for (uint64_t lpn = first; lpn <= last; ++lpn) {
@@ -378,7 +407,6 @@ SsdDevice::submitPcm(OpType op, uint64_t offset, uint32_t size,
             SimTime xfer = transferTime(state->size, cfg_.link_bw);
             uint32_t size = state->size;
             Callback done = std::move(state->done);
-            delete state;
             link_.enqueue(xfer, [this, size, is_read,
                                  done = std::move(done)] {
                 if (is_read) {

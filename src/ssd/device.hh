@@ -34,6 +34,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "fault/media_model.hh"
 #include "sim/simulator.hh"
 #include "ssd/config.hh"
 #include "ssd/ftl.hh"
@@ -98,6 +99,15 @@ class SsdDevice
     /** Expose the FTL for white-box tests. */
     const Ftl &ftl() const { return ftl_; }
 
+    /** Device-side fault counters (all zero when faults are disabled). */
+    const fault::DeviceFaultStats &faultStats() const
+    {
+        return faults_.stats();
+    }
+
+    /** True while the device is thermally throttled. */
+    bool throttling() const { return faults_.throttling(); }
+
   private:
     /**
      * Per-die controller scheduler: a read queue and a write-path queue
@@ -140,6 +150,9 @@ class SsdDevice
     /** Jittered read time including the read-retry tail. */
     SimTime readServiceTime();
 
+    /** Jittered program time including thermal throttling, if enabled. */
+    SimTime programTime();
+
     SimTime transferTime(uint64_t bytes, uint64_t bw) const;
 
     FifoServer &channelOf(uint32_t die);
@@ -153,7 +166,7 @@ class SsdDevice
     };
 
     void submitFlashRead(uint64_t offset, uint32_t size, Callback done);
-    void finishRead(ReadState *state);
+    void finishRead(const std::shared_ptr<ReadState> &state);
 
     // Write pipeline -----------------------------------------------------
     struct WriteAdmit
@@ -179,6 +192,7 @@ class SsdDevice
     const SsdConfig cfg_;
     Rng rng_;
     Ftl ftl_;
+    fault::MediaFaultModel faults_;
 
     std::vector<DieQueue> dies_;
     std::vector<std::unique_ptr<FifoServer>> channels_;

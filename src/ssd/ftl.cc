@@ -195,6 +195,8 @@ Ftl::selectVictim(uint32_t die) const
         if (b == d.host_wp || b == d.gc_wp)
             continue;
         const Block &blk = d.blocks[b];
+        if (blk.bad)
+            continue; // grown bad block: never erased or reused
         if (blk.used < pages_per_block_)
             continue; // not fully written (free or active)
         if (blk.valid < best_valid) {
@@ -226,8 +228,12 @@ void
 Ftl::gcCommitMove(uint32_t die)
 {
     Die &d = dies_[die];
-    if (d.victim == kNoBlock)
-        panic("Ftl::gcCommitMove: no victim selected");
+    if (d.victim == kNoBlock) {
+        // A bad-block remap ran instant GC while this move was in
+        // flight on the die and reclaimed the victim already; the die
+        // time was spent but there is nothing left to copy.
+        return;
+    }
     Block &victim = d.blocks[d.victim];
     // Find the next still-valid page under the scan cursor.
     while (d.victim_scan < pages_per_block_ &&
@@ -268,8 +274,13 @@ void
 Ftl::gcCommitErase(uint32_t die)
 {
     Die &d = dies_[die];
-    if (!victimReadyForErase(die))
-        panic("Ftl::gcCommitErase: victim not drained");
+    if (!victimReadyForErase(die)) {
+        // Either the victim was reclaimed by instant GC during a
+        // bad-block remap while the erase was in flight, or instant GC
+        // replaced it with a fresh, still-valid victim. Both ways the
+        // scheduled erase is moot; the caller re-evaluates GC state.
+        return;
+    }
     Block &victim = d.blocks[d.victim];
     std::fill(victim.lpns.begin(), victim.lpns.end(), kUnmapped);
     victim.used = 0;
@@ -313,6 +324,54 @@ Ftl::instantGc(uint32_t die)
             gcCommitMove(die);
         gcCommitErase(die);
     }
+}
+
+bool
+Ftl::growBadBlock(uint64_t lpn)
+{
+    if (cfg_.medium != MediumType::kFlash)
+        return false;
+    if (lpn >= num_lpns_)
+        lpn %= num_lpns_;
+    uint32_t entry = mapping_[lpn];
+    if (entry == kUnmappedEntry)
+        return false;
+    PhysLoc loc = unpack(entry);
+    Die &d = dies_[loc.die];
+    // Active blocks stay in service: retiring a write point or the GC
+    // victim mid-scan would corrupt the allocation state machine.
+    if (loc.block == d.host_wp || loc.block == d.gc_wp ||
+        loc.block == d.victim) {
+        return false;
+    }
+    Block &blk = d.blocks[loc.block];
+    if (blk.bad)
+        return false;
+
+    // Retire the block BEFORE draining it: remap writes below can kick
+    // off GC on this die, and a not-yet-bad full block with dead pages
+    // is a tempting victim — letting GC erase and reuse it mid-drain
+    // would put survivor pages right back into the bad block.
+    blk.bad = true;
+    blk.used = pages_per_block_;
+    ++bad_blocks_;
+
+    // Remap every surviving page (including the triggering one) to a
+    // fresh location; instantWrite invalidates the old slot first, so
+    // the block drains to zero valid pages. The block is never selected
+    // as a GC victim and never returns to the free list — the die's
+    // spare capacity just shrank by one block.
+    std::vector<uint64_t> survivors;
+    survivors.reserve(blk.valid);
+    for (uint32_t p = 0; p < blk.used; ++p) {
+        if (blk.lpns[p] != kUnmapped)
+            survivors.push_back(blk.lpns[p]);
+    }
+    for (uint64_t survivor : survivors)
+        instantWrite(survivor);
+    if (blk.valid != 0)
+        panic("Ftl::growBadBlock: block not drained by remap");
+    return true;
 }
 
 bool
@@ -370,6 +429,9 @@ Ftl::checkInvariants(std::string *error) const
             if (blk.used != 0 || blk.valid != 0)
                 return fail(strCat("die ", die, " free block ", b,
                                    " not empty"));
+            if (blk.bad)
+                return fail(strCat("die ", die, " bad block ", b,
+                                   " on the free list"));
         }
         if (d.free_blocks.size() > blocks_per_die_)
             return fail(strCat("die ", die, " free list too large"));

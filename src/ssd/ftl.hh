@@ -128,6 +128,21 @@ class Ftl
     void preconditionRandomOverwrite(uint64_t count, Rng &rng);
 
     /**
+     * Declare the block holding `lpn` a grown bad block: its surviving
+     * valid pages are remapped to fresh locations (instant bookkeeping;
+     * the device charges die time separately) and the block is retired
+     * from circulation forever, shrinking effective spare capacity.
+     *
+     * Returns false without side effects when the block cannot be
+     * retired right now (unmapped lpn, active write point, current GC
+     * victim, or non-flash media).
+     */
+    bool growBadBlock(uint64_t lpn);
+
+    /** Grown bad blocks retired so far (whole device). */
+    uint64_t badBlocks() const { return bad_blocks_; }
+
+    /**
      * Verify internal consistency (testing): every mapped LPN points at
      * a slot that points back; per-block valid counts match the mapping;
      * free-list blocks are empty; block counts add up. Returns true when
@@ -169,6 +184,7 @@ class Ftl
         std::vector<uint64_t> lpns; //!< lpn per slot (kUnmapped when dead)
         uint16_t used = 0; //!< slots written
         uint16_t valid = 0; //!< slots still mapped
+        bool bad = false; //!< grown bad block, out of circulation
     };
 
     struct Die
@@ -221,6 +237,7 @@ class Ftl
     uint64_t host_pages_written_ = 0;
     uint64_t gc_pages_moved_ = 0;
     uint64_t blocks_erased_ = 0;
+    uint64_t bad_blocks_ = 0;
 };
 
 } // namespace isol::ssd

@@ -1,0 +1,58 @@
+#include "stats/fault_table.hh"
+
+#include <cstdio>
+
+namespace isol::stats
+{
+
+namespace
+{
+std::string
+ms(SimTime ns)
+{
+    double v = static_cast<double>(ns) / 1e6;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+}
+} // namespace
+
+Table
+deviceFaultTable(const std::string &device,
+                 const fault::DeviceFaultStats &dev,
+                 const fault::HostFaultStats &host)
+{
+    Table table({"device", "read_retries", "uncorrectable", "remapped",
+                 "spikes", "throttle_ms", "timeouts", "requeues",
+                 "retry_ok", "failed", "late"});
+    table.addRow({device, std::to_string(dev.read_retries),
+                  std::to_string(dev.uncorrectable),
+                  std::to_string(dev.remapped_blocks),
+                  std::to_string(dev.spike_events), ms(dev.throttle_ns),
+                  std::to_string(host.timeouts),
+                  std::to_string(host.requeues),
+                  std::to_string(host.retry_successes),
+                  std::to_string(host.failed_ios),
+                  std::to_string(host.late_completions)});
+    return table;
+}
+
+Table
+cgroupFaultTable(const cgroup::CgroupTree &tree, bool include_zero)
+{
+    Table table({"cgroup", "timeouts", "requeues", "retry_ok", "failed"});
+    for (const auto &group : tree.groups()) {
+        const cgroup::Cgroup::IoFaultStat &st = group->ioFaultStat();
+        bool zero = st.timeouts == 0 && st.requeues == 0 &&
+                    st.retry_successes == 0 && st.failed_ios == 0;
+        if (zero && (!include_zero || group->isRoot()))
+            continue;
+        table.addRow({group->path(), std::to_string(st.timeouts),
+                      std::to_string(st.requeues),
+                      std::to_string(st.retry_successes),
+                      std::to_string(st.failed_ios)});
+    }
+    return table;
+}
+
+} // namespace isol::stats

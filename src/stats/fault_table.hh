@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table emitters for the fault-injection counters: per-device media /
+ * thermal / timeout statistics and the per-cgroup retry accounting.
+ */
+
+#ifndef ISOL_STATS_FAULT_TABLE_HH
+#define ISOL_STATS_FAULT_TABLE_HH
+
+#include <string>
+
+#include "cgroup/cgroup.hh"
+#include "fault/fault.hh"
+#include "stats/table.hh"
+
+namespace isol::stats
+{
+
+/**
+ * One row of device-side and host-side fault counters for `device`.
+ */
+Table deviceFaultTable(const std::string &device,
+                       const fault::DeviceFaultStats &dev,
+                       const fault::HostFaultStats &host);
+
+/**
+ * Per-cgroup command-timeout / retry counters, one row per group.
+ * All-zero groups are skipped unless `include_zero` (the root is always
+ * skipped when zero).
+ */
+Table cgroupFaultTable(const cgroup::CgroupTree &tree,
+                       bool include_zero = false);
+
+} // namespace isol::stats
+
+#endif // ISOL_STATS_FAULT_TABLE_HH

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the fault-injection plane: profiles, the media-error /
+ * thermal / spike model, grown-bad-block handling in the FTL, and the
+ * device-level fault counters (including bit-reproducibility and the
+ * strictly-opt-in default).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "fault/fault.hh"
+#include "fault/media_model.hh"
+#include "sim/simulator.hh"
+#include "ssd/config.hh"
+#include "ssd/device.hh"
+#include "ssd/ftl.hh"
+
+namespace isol::fault
+{
+namespace
+{
+
+TEST(FaultProfile, NamesRoundTrip)
+{
+    for (Profile p : {Profile::kOff, Profile::kMedia, Profile::kThermal,
+                      Profile::kAll}) {
+        auto parsed = parseProfile(profileName(p));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, p);
+    }
+    EXPECT_FALSE(parseProfile("bogus").has_value());
+    EXPECT_FALSE(parseProfile("").has_value());
+}
+
+TEST(FaultProfile, ConfigFamilies)
+{
+    EXPECT_FALSE(profileConfig(Profile::kOff).any());
+
+    FaultPlane media = profileConfig(Profile::kMedia);
+    EXPECT_TRUE(media.device.media.enabled);
+    EXPECT_TRUE(media.timeout.enabled);
+    EXPECT_FALSE(media.device.thermal.enabled);
+
+    FaultPlane thermal = profileConfig(Profile::kThermal);
+    EXPECT_TRUE(thermal.device.thermal.enabled);
+    EXPECT_FALSE(thermal.device.media.enabled);
+    EXPECT_FALSE(thermal.timeout.enabled);
+
+    FaultPlane all = profileConfig(Profile::kAll);
+    EXPECT_TRUE(all.device.media.enabled);
+    EXPECT_TRUE(all.device.thermal.enabled);
+    EXPECT_TRUE(all.timeout.enabled);
+}
+
+TEST(MediaFaultModel, DisabledIsTransparent)
+{
+    DeviceFaultConfig cfg; // everything disabled
+    MediaFaultModel model(cfg, 4, GiB, 42);
+    auto out = model.readOutcome(0, 0, 1000);
+    EXPECT_EQ(out.service, 1000);
+    EXPECT_EQ(out.retries, 0u);
+    EXPECT_FALSE(out.uncorrectable);
+    EXPECT_FALSE(out.remap);
+    EXPECT_DOUBLE_EQ(model.serviceMultiplier(msToNs(50)), 1.0);
+    EXPECT_DOUBLE_EQ(model.programMultiplier(msToNs(50)), 1.0);
+    EXPECT_EQ(model.stats().read_retries, 0u);
+    EXPECT_EQ(model.stats().spike_events, 0u);
+}
+
+TEST(MediaFaultModel, ValidatesConfig)
+{
+    DeviceFaultConfig bad_ladder;
+    bad_ladder.media.enabled = true;
+    bad_ladder.media.retry_ladder_steps = 0;
+    EXPECT_THROW(MediaFaultModel(bad_ladder, 1, GiB, 1), FatalError);
+
+    DeviceFaultConfig bad_wm;
+    bad_wm.thermal.enabled = true;
+    bad_wm.thermal.low_watermark = 10.0;
+    bad_wm.thermal.high_watermark = 5.0;
+    EXPECT_THROW(MediaFaultModel(bad_wm, 1, GiB, 1), FatalError);
+}
+
+TEST(MediaFaultModel, FaultyRegions)
+{
+    DeviceFaultConfig cfg;
+    cfg.media.enabled = true;
+    cfg.media.faulty_die_fraction = 0.25; // first 2 of 8 dies
+    cfg.media.faulty_lba_begin = 0.5;
+    cfg.media.faulty_lba_len = 0.25;
+    MediaFaultModel model(cfg, 8, 1000, 1);
+    EXPECT_TRUE(model.dieFaulty(0));
+    EXPECT_TRUE(model.dieFaulty(1));
+    EXPECT_FALSE(model.dieFaulty(2));
+    EXPECT_FALSE(model.offsetFaulty(499));
+    EXPECT_TRUE(model.offsetFaulty(500));
+    EXPECT_TRUE(model.offsetFaulty(749));
+    EXPECT_FALSE(model.offsetFaulty(750));
+}
+
+TEST(MediaFaultModel, LadderEscalatesAndExhausts)
+{
+    DeviceFaultConfig cfg;
+    cfg.media.enabled = true;
+    cfg.media.read_error_prob = 1.0; // always fail the first attempt
+    cfg.media.retry_fail_prob = 1.0; // ...and every retry step
+    cfg.media.retry_ladder_steps = 3;
+    cfg.media.retry_step_factor = 2.0;
+    cfg.media.remap_prob = 0.0;
+    MediaFaultModel model(cfg, 1, GiB, 7);
+
+    auto out = model.readOutcome(0, 0, 100);
+    EXPECT_EQ(out.retries, 3u);
+    EXPECT_TRUE(out.uncorrectable);
+    // base + base*2 + base*4 + base*8 = 1500
+    EXPECT_EQ(out.service, 1500);
+    EXPECT_EQ(model.stats().read_retries, 3u);
+    EXPECT_EQ(model.stats().uncorrectable, 1u);
+}
+
+TEST(MediaFaultModel, RetrySucceedsWithoutExhaustion)
+{
+    DeviceFaultConfig cfg;
+    cfg.media.enabled = true;
+    cfg.media.read_error_prob = 1.0;
+    cfg.media.retry_fail_prob = 0.0; // first retry always recovers
+    cfg.media.retry_ladder_steps = 4;
+    cfg.media.retry_step_factor = 2.0;
+    MediaFaultModel model(cfg, 1, GiB, 7);
+
+    auto out = model.readOutcome(0, 0, 100);
+    EXPECT_EQ(out.retries, 1u);
+    EXPECT_FALSE(out.uncorrectable);
+    EXPECT_EQ(out.service, 300); // base + base*2
+}
+
+TEST(MediaFaultModel, SameSeedSameOutcomes)
+{
+    DeviceFaultConfig cfg;
+    cfg.media.enabled = true;
+    cfg.media.read_error_prob = 0.3;
+    cfg.media.retry_fail_prob = 0.5;
+    MediaFaultModel a(cfg, 4, GiB, 99);
+    MediaFaultModel b(cfg, 4, GiB, 99);
+    MediaFaultModel c(cfg, 4, GiB, 100);
+
+    bool differs_from_c = false;
+    for (int i = 0; i < 500; ++i) {
+        auto oa = a.readOutcome(0, 0, 1000);
+        auto ob = b.readOutcome(0, 0, 1000);
+        auto oc = c.readOutcome(0, 0, 1000);
+        EXPECT_EQ(oa.service, ob.service);
+        EXPECT_EQ(oa.retries, ob.retries);
+        EXPECT_EQ(oa.uncorrectable, ob.uncorrectable);
+        if (oa.service != oc.service)
+            differs_from_c = true;
+    }
+    EXPECT_EQ(a.stats().read_retries, b.stats().read_retries);
+    EXPECT_TRUE(differs_from_c);
+}
+
+TEST(MediaFaultModel, SpikeWindows)
+{
+    DeviceFaultConfig cfg;
+    cfg.media.enabled = true;
+    cfg.media.read_error_prob = 0.0;
+    cfg.media.spike_rate_hz = 1000.0; // ~1 per ms
+    cfg.media.spike_duration = usToNs(100);
+    cfg.media.spike_factor = 5.0;
+    MediaFaultModel model(cfg, 1, GiB, 3);
+
+    bool spiked = false;
+    bool calm = false;
+    for (SimTime t = 0; t < msToNs(20); t += usToNs(10)) {
+        double mult = model.serviceMultiplier(t);
+        if (mult == 5.0)
+            spiked = true;
+        else if (mult == 1.0)
+            calm = true;
+        else
+            FAIL() << "unexpected multiplier " << mult;
+    }
+    EXPECT_TRUE(spiked);
+    EXPECT_TRUE(calm);
+    EXPECT_GT(model.stats().spike_events, 0u);
+}
+
+TEST(MediaFaultModel, ThermalThrottleCycle)
+{
+    DeviceFaultConfig cfg;
+    cfg.thermal.enabled = true;
+    cfg.thermal.heat_per_busy_ns = 1.0;
+    cfg.thermal.cool_rate = 1.0;
+    cfg.thermal.high_watermark = 1000.0;
+    cfg.thermal.low_watermark = 500.0;
+    cfg.thermal.throttle_factor = 4.0;
+    MediaFaultModel model(cfg, 1, GiB, 1);
+
+    // Cold device: no throttle.
+    EXPECT_DOUBLE_EQ(model.programMultiplier(0), 1.0);
+    EXPECT_FALSE(model.throttling());
+
+    // Heat past the high watermark.
+    model.noteProgram(0, 2000);
+    EXPECT_TRUE(model.throttling());
+    EXPECT_DOUBLE_EQ(model.programMultiplier(0), 4.0);
+
+    // Still above the low watermark after cooling 1000 ns.
+    EXPECT_DOUBLE_EQ(model.programMultiplier(1000), 4.0);
+    EXPECT_EQ(model.stats().throttle_ns, 1000);
+
+    // Below the low watermark: throttle ends, time accounted.
+    EXPECT_DOUBLE_EQ(model.programMultiplier(1600), 1.0);
+    EXPECT_FALSE(model.throttling());
+    EXPECT_EQ(model.stats().throttle_ns, 1600);
+}
+
+} // namespace
+} // namespace isol::fault
+
+namespace isol::ssd
+{
+namespace
+{
+
+SsdConfig
+tinyFlash()
+{
+    SsdConfig cfg = samsung980ProLike();
+    cfg.user_capacity = 64 * MiB;
+    cfg.channels = 2;
+    cfg.dies_per_channel = 2;
+    cfg.pages_per_block = 32;
+    cfg.overprovision = 0.25;
+    return cfg;
+}
+
+TEST(FtlBadBlocks, GrowRemapsAndRetires)
+{
+    SsdConfig cfg = tinyFlash();
+    Ftl ftl(cfg);
+    ftl.preconditionSequentialFill(0.9);
+    ASSERT_TRUE(ftl.checkInvariants());
+
+    uint64_t lpn = 1234;
+    PhysLoc before = ftl.lookupRead(lpn);
+    uint64_t retired = 0;
+    // The first candidate block may be an active write point; try a few
+    // lpns until one retires.
+    while (!ftl.growBadBlock(lpn))
+        lpn += 100;
+    retired = ftl.badBlocks();
+    EXPECT_EQ(retired, 1u);
+
+    std::string error;
+    EXPECT_TRUE(ftl.checkInvariants(&error)) << error;
+
+    // The triggering lpn was remapped somewhere else and still resolves.
+    PhysLoc after = ftl.lookupRead(lpn);
+    bool moved = after.die != before.die || after.block != before.block ||
+                 after.page != before.page;
+    // (before was looked up for lpn=1234; re-check against the retired
+    // lpn's new location only when it is the same lpn)
+    if (lpn == 1234)
+        EXPECT_TRUE(moved);
+}
+
+TEST(FtlBadBlocks, UnmappedLpnRefused)
+{
+    SsdConfig cfg = tinyFlash();
+    Ftl ftl(cfg); // nothing written
+    EXPECT_FALSE(ftl.growBadBlock(7));
+    EXPECT_EQ(ftl.badBlocks(), 0u);
+}
+
+TEST(FtlBadBlocks, SurvivesGcAfterRetirement)
+{
+    SsdConfig cfg = tinyFlash();
+    Ftl ftl(cfg);
+    ftl.preconditionSequentialFill(1.0);
+    Rng rng(5);
+    ftl.preconditionRandomOverwrite(cfg.numLogicalPages() / 2, rng);
+
+    uint64_t retired = 0;
+    for (uint64_t lpn = 0; lpn < cfg.numLogicalPages() && retired < 4;
+         lpn += 97) {
+        if (ftl.growBadBlock(lpn))
+            ++retired;
+    }
+    ASSERT_GT(retired, 0u);
+    EXPECT_EQ(ftl.badBlocks(), retired);
+
+    // GC keeps working with retired blocks out of circulation.
+    ftl.preconditionRandomOverwrite(cfg.numLogicalPages(), rng);
+    std::string error;
+    EXPECT_TRUE(ftl.checkInvariants(&error)) << error;
+    EXPECT_EQ(ftl.badBlocks(), retired); // precondition paths grow none
+}
+
+TEST(SsdFaults, DisabledByDefaultAllZero)
+{
+    sim::Simulator sim;
+    SsdDevice dev(sim, tinyFlash(), 11);
+    int done = 0;
+    for (int i = 0; i < 200; ++i)
+        dev.submit(OpType::kRead, i * 4096ull, 4096, [&] { ++done; });
+    sim.runAll();
+    EXPECT_EQ(done, 200);
+    EXPECT_EQ(dev.faultStats().read_retries, 0u);
+    EXPECT_EQ(dev.faultStats().uncorrectable, 0u);
+    EXPECT_EQ(dev.faultStats().remapped_blocks, 0u);
+    EXPECT_EQ(dev.faultStats().spike_events, 0u);
+    EXPECT_EQ(dev.faultStats().throttle_ns, 0);
+    EXPECT_FALSE(dev.throttling());
+}
+
+TEST(SsdFaults, MediaErrorsCountAndReproduce)
+{
+    SsdConfig cfg = tinyFlash();
+    cfg.faults.media.enabled = true;
+    cfg.faults.media.read_error_prob = 0.2;
+    cfg.faults.media.retry_fail_prob = 0.6;
+    cfg.faults.media.remap_prob = 0.2;
+
+    auto run = [&](uint64_t seed) {
+        sim::Simulator sim;
+        SsdDevice dev(sim, cfg, seed);
+        dev.precondition(1.0, 0.0);
+        int done = 0;
+        for (int i = 0; i < 400; ++i)
+            dev.submit(OpType::kRead, i * 4096ull, 4096, [&] { ++done; });
+        sim.runAll();
+        EXPECT_EQ(done, 400);
+        return dev.faultStats();
+    };
+
+    fault::DeviceFaultStats a = run(21);
+    fault::DeviceFaultStats b = run(21);
+    EXPECT_EQ(a.read_retries, b.read_retries);
+    EXPECT_EQ(a.uncorrectable, b.uncorrectable);
+    EXPECT_EQ(a.remapped_blocks, b.remapped_blocks);
+    EXPECT_GT(a.read_retries, 0u);
+
+    fault::DeviceFaultStats c = run(22);
+    EXPECT_NE(a.read_retries, c.read_retries);
+}
+
+TEST(SsdFaults, ThermalThrottleSlowsWrites)
+{
+    SsdConfig cfg = tinyFlash();
+    cfg.faults.thermal.enabled = true;
+    // Tiny budget: a handful of programs trips the throttle.
+    cfg.faults.thermal.heat_per_busy_ns = 1.0;
+    cfg.faults.thermal.cool_rate = 0.05;
+    cfg.faults.thermal.high_watermark = 1e6;
+    cfg.faults.thermal.low_watermark = 5e5;
+    cfg.faults.thermal.throttle_factor = 5.0;
+
+    auto written = [&](bool thermal) {
+        SsdConfig c = cfg;
+        c.faults.thermal.enabled = thermal;
+        sim::Simulator sim;
+        SsdDevice dev(sim, c, 5);
+        for (int i = 0; i < 512; ++i) {
+            dev.submit(OpType::kWrite, i * 4096ull, 4096, [] {});
+        }
+        sim.runUntil(msToNs(40));
+        return dev.ftl().hostPagesWritten();
+    };
+
+    uint64_t healthy = written(false);
+    uint64_t throttled = written(true);
+    EXPECT_LT(throttled, healthy);
+
+    // And the throttle time is accounted.
+    sim::Simulator sim;
+    SsdDevice dev(sim, cfg, 5);
+    for (int i = 0; i < 512; ++i)
+        dev.submit(OpType::kWrite, i * 4096ull, 4096, [] {});
+    sim.runUntil(msToNs(40));
+    EXPECT_GT(dev.faultStats().throttle_ns, 0);
+}
+
+} // namespace
+} // namespace isol::ssd

@@ -105,6 +105,45 @@ TEST(Simulator, AfterIsRelative)
     EXPECT_EQ(times[0], 75);
 }
 
+TEST(EventQueue, ConstInspection)
+{
+    EventQueue q;
+    const EventQueue &cq = q;
+    EXPECT_TRUE(cq.empty());
+    EventId id = q.schedule(5, [] {});
+    EXPECT_FALSE(cq.empty());
+    EXPECT_EQ(cq.nextTime(), 5);
+    q.cancel(id);
+    EXPECT_TRUE(cq.empty()); // skips the cancelled top, still const
+}
+
+TEST(Simulator, IdleIsConst)
+{
+    Simulator sim;
+    const Simulator &csim = sim;
+    EXPECT_TRUE(csim.idle());
+    sim.at(10, [] {});
+    EXPECT_FALSE(csim.idle());
+}
+
+TEST(Simulator, RunAllEventStormLimitThrows)
+{
+    Simulator sim;
+    std::function<void()> storm = [&] { sim.after(1, storm); };
+    sim.after(0, storm);
+    EXPECT_THROW(sim.runAll(1000), FatalError);
+}
+
+TEST(Simulator, RunAllLimitAllowsBoundedWork)
+{
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        sim.at(i, [&] { ++fired; });
+    sim.runAll(100); // limit far above the event count: no throw
+    EXPECT_EQ(fired, 10);
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline)
 {
     Simulator sim;

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Configure an ASan+UBSan build of the simulator and run the smoke
+# target (quickstart example + a fault-injected CLI scenario).
+#
+# Usage: tools/sanitize_smoke.sh [build-dir]   (default: build-asan)
+set -eu
+
+BUILD_DIR="${1:-build-asan}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cmake -S "$SRC_DIR" -B "$BUILD_DIR" -DISOL_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j
+cmake --build "$BUILD_DIR" --target smoke
+echo "sanitize_smoke: OK"
