@@ -5,6 +5,7 @@
  *
  * Environment variables:
  *   ISOL_BENCH_QUICK=1   coarser sweeps and shorter runs (CI-friendly)
+ *   ISOL_JOBS=N          sweep worker threads (also --jobs N)
  */
 
 #ifndef ISOL_BENCH_BENCH_UTIL_HH
@@ -12,12 +13,56 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "common/strings.hh"
 #include "common/types.hh"
+#include "isolbench/sweep.hh"
 
 namespace isol::bench
 {
+
+/**
+ * Parse the shared bench flags (currently `--jobs N`, default: hardware
+ * concurrency). Unknown arguments abort with a usage message so typos in
+ * long sweep invocations fail fast.
+ */
+inline void
+parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            auto parsed = isol::parseUint(argv[++i]);
+            if (!parsed || *parsed == 0) {
+                std::fprintf(stderr, "%s: bad --jobs value '%s'\n",
+                             argv[0], argv[i]);
+                std::exit(2);
+            }
+            isolbench::sweep::setDefaultJobs(
+                static_cast<uint32_t>(*parsed));
+        } else {
+            std::fprintf(stderr,
+                         "%s: unknown argument '%s' (supported: "
+                         "--jobs N)\n", argv[0], argv[i]);
+            std::exit(2);
+        }
+    }
+}
+
+/**
+ * Emit the sweep self-profile: a one-line summary on stderr (stdout
+ * stays byte-identical across thread counts) plus BENCH_sweep.json for
+ * cross-PR perf tracking.
+ */
+inline void
+emitSweepReport()
+{
+    std::fprintf(stderr, "%s\n",
+                 isolbench::sweep::profileSummaryLine().c_str());
+    if (!isolbench::sweep::writeProfileJson("BENCH_sweep.json"))
+        std::fprintf(stderr, "warning: could not write BENCH_sweep.json\n");
+}
 
 /** True when quick mode is requested via ISOL_BENCH_QUICK. */
 inline bool

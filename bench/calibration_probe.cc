@@ -3,27 +3,55 @@
  * Calibration probe: prints the simulator's key operating points next to
  * the paper's measured values so model constants can be tuned. Not a
  * paper figure itself — a development and regression tool.
+ *
+ * Every probe point is an independent simulation; they all fan out
+ * across the sweep pool and the table is printed from the collected
+ * slots in a fixed order.
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
+#include "bench_util.hh"
 #include "isolbench/d1_overhead.hh"
 #include "isolbench/scenario.hh"
+#include "isolbench/sweep.hh"
 #include "stats/table.hh"
 
 using namespace isol;
 using namespace isol::isolbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     stats::Table table({"metric", "paper", "simulated"});
     D1Options opts;
 
+    LcScalingResult none1, mq1, bfq1, none16, cost16, none8, cost8;
+    BatchScalingResult bnone1, bmq1, bbfq1;
+    BatchScalingResult bnone7, bmq7, bbfq7, bmax7, bcost7;
+
+    sweep::run({
+        [&] { none1 = runLcScaling(Knob::kNone, 1, opts); },
+        [&] { mq1 = runLcScaling(Knob::kMqDeadline, 1, opts); },
+        [&] { bfq1 = runLcScaling(Knob::kBfq, 1, opts); },
+        [&] { none16 = runLcScaling(Knob::kNone, 16, opts); },
+        [&] { cost16 = runLcScaling(Knob::kIoCost, 16, opts); },
+        [&] { none8 = runLcScaling(Knob::kNone, 8, opts); },
+        [&] { cost8 = runLcScaling(Knob::kIoCost, 8, opts); },
+        [&] { bnone1 = runBatchScaling(Knob::kNone, 17, 1, opts); },
+        [&] { bmq1 = runBatchScaling(Knob::kMqDeadline, 17, 1, opts); },
+        [&] { bbfq1 = runBatchScaling(Knob::kBfq, 17, 1, opts); },
+        [&] { bnone7 = runBatchScaling(Knob::kNone, 17, 7, opts); },
+        [&] { bmq7 = runBatchScaling(Knob::kMqDeadline, 17, 7, opts); },
+        [&] { bbfq7 = runBatchScaling(Knob::kBfq, 17, 7, opts); },
+        [&] { bmax7 = runBatchScaling(Knob::kIoMax, 17, 7, opts); },
+        [&] { bcost7 = runBatchScaling(Knob::kIoCost, 17, 7, opts); },
+    });
+
     // --- LC-app latency (Fig. 3) ---
-    auto none1 = runLcScaling(Knob::kNone, 1, opts);
-    auto mq1 = runLcScaling(Knob::kMqDeadline, 1, opts);
-    auto bfq1 = runLcScaling(Knob::kBfq, 1, opts);
     table.addRow({"LC x1 none P99 (us)", "~90-120",
                   std::to_string(none1.p99_us)});
     table.addRow({"LC x1 mq-dl P99 delta", "+7.55%",
@@ -33,24 +61,17 @@ main()
                   std::to_string((bfq1.p99_us / none1.p99_us - 1) * 100) +
                       "%"});
 
-    auto none16 = runLcScaling(Knob::kNone, 16, opts);
-    auto cost16 = runLcScaling(Knob::kIoCost, 16, opts);
     table.addRow({"LC x16 none P99 (us)", "181.2",
                   std::to_string(none16.p99_us)});
     table.addRow({"LC x16 io.cost P99 (us)", "268.3",
                   std::to_string(cost16.p99_us)});
 
-    auto none8 = runLcScaling(Knob::kNone, 8, opts);
-    auto cost8 = runLcScaling(Knob::kIoCost, 8, opts);
     table.addRow({"LC x8 none CPU", "78.22%",
                   std::to_string(none8.cpu_util * 100) + "%"});
     table.addRow({"LC x8 io.cost CPU", "80.27%",
                   std::to_string(cost8.cpu_util * 100) + "%"});
 
     // --- Batch bandwidth (Fig. 4) ---
-    auto bnone1 = runBatchScaling(Knob::kNone, 17, 1, opts);
-    auto bmq1 = runBatchScaling(Knob::kMqDeadline, 17, 1, opts);
-    auto bbfq1 = runBatchScaling(Knob::kBfq, 17, 1, opts);
     table.addRow({"batch x17 1ssd none GiB/s", "2.94",
                   std::to_string(bnone1.agg_gibs)});
     table.addRow({"batch x17 1ssd mq-dl GiB/s", "1.81",
@@ -58,11 +79,6 @@ main()
     table.addRow({"batch x17 1ssd bfq GiB/s", "0.69",
                   std::to_string(bbfq1.agg_gibs)});
 
-    auto bnone7 = runBatchScaling(Knob::kNone, 17, 7, opts);
-    auto bmq7 = runBatchScaling(Knob::kMqDeadline, 17, 7, opts);
-    auto bbfq7 = runBatchScaling(Knob::kBfq, 17, 7, opts);
-    auto bmax7 = runBatchScaling(Knob::kIoMax, 17, 7, opts);
-    auto bcost7 = runBatchScaling(Knob::kIoCost, 17, 7, opts);
     table.addRow({"batch x17 7ssd none GiB/s", "9.87",
                   std::to_string(bnone7.agg_gibs)});
     table.addRow({"batch x17 7ssd mq-dl GiB/s", "4.24",
@@ -75,5 +91,6 @@ main()
                   std::to_string(bcost7.agg_gibs)});
 
     std::fputs(table.toAligned().c_str(), stdout);
+    bench::emitSweepReport();
     return 0;
 }

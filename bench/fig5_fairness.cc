@@ -8,6 +8,10 @@
  * saturation); (c)+(d) linearly increasing weights, 2..16 cgroups.
  * Four batch-apps per cgroup (enough to saturate the SSD); fairness runs
  * are repeated for a standard deviation, as in the paper.
+ *
+ * Every (cgroups, knob) grid point is an independent simulation, so the
+ * whole panel fans out across the sweep pool (--jobs N / ISOL_JOBS) and
+ * the table is printed from the collected slots in grid order.
  */
 
 #include <cstdio>
@@ -16,6 +20,7 @@
 #include "bench_util.hh"
 #include "common/strings.hh"
 #include "isolbench/d2_fairness.hh"
+#include "isolbench/sweep.hh"
 #include "stats/table.hh"
 
 using namespace isol;
@@ -30,17 +35,31 @@ runPanel(const char *title, bool weighted,
          const FairnessOptions &opts)
 {
     bench::banner(title);
+
+    struct GridPoint
+    {
+        uint32_t cgroups;
+        Knob knob;
+    };
+    std::vector<GridPoint> grid;
+    for (uint32_t cgroups : group_counts) {
+        for (Knob knob : kAllKnobs)
+            grid.push_back({cgroups, knob});
+    }
+
+    std::vector<FairnessResult> results = sweep::map<FairnessResult>(
+        grid.size(), [&](size_t i) {
+            return runFairness(grid[i].knob, grid[i].cgroups, weighted,
+                               FairnessMix::kUniform, opts);
+        });
+
     stats::Table table({"cgroups", "knob", "jain", "jain-stddev",
                         "agg GiB/s"});
-    for (uint32_t cgroups : group_counts) {
-        for (Knob knob : kAllKnobs) {
-            FairnessResult res = runFairness(
-                knob, cgroups, weighted, FairnessMix::kUniform, opts);
-            table.addRow({strCat(cgroups), knobName(knob),
-                          isol::formatDouble(res.jain_mean, 3),
-                          isol::formatDouble(res.jain_std, 3),
-                          bench::gibs(res.agg_gibs_mean)});
-        }
+    for (const FairnessResult &res : results) {
+        table.addRow({strCat(res.cgroups), knobName(res.knob),
+                      isol::formatDouble(res.jain_mean, 3),
+                      isol::formatDouble(res.jain_std, 3),
+                      bench::gibs(res.agg_gibs_mean)});
     }
     std::fputs(table.toAligned().c_str(), stdout);
 }
@@ -48,8 +67,9 @@ runPanel(const char *title, bool weighted,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bool quick = bench::quickMode();
     FairnessOptions opts;
     opts.repeats = quick ? 1 : 2;
@@ -70,5 +90,6 @@ main()
              true, scaling, opts);
     runPanel("Fig. 5(d): linearly increasing weights, 16 cgroups", true,
              {16}, opts);
+    bench::emitSweepReport();
     return 0;
 }

@@ -10,6 +10,10 @@
  *   (b/f) io.latency target sweep with BE workload variants,
  *   (c/g) io.max BE-cap sweep with BE workload variants,
  *   (d/h) io.cost qos sweep with BE workload variants.
+ *
+ * Each knob's configuration grid fans out across the sweep pool inside
+ * runTradeoffSweep() (--jobs N / ISOL_JOBS); stdout is byte-identical
+ * for any thread count.
  */
 
 #include <cstdio>
@@ -52,8 +56,9 @@ printSweep(Knob knob, PriorityAppKind kind, BeWorkload be,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bool quick = bench::quickMode();
     TradeoffOptions opts;
     opts.coarsen = quick ? 8 : 4;
@@ -84,5 +89,6 @@ main()
                 printSweep(knob, kind, be, opts);
         }
     }
+    bench::emitSweepReport();
     return 0;
 }

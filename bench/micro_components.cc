@@ -4,13 +4,29 @@
  * queue throughput, histogram recording and percentile queries, FTL
  * write/GC bookkeeping, iocost accounting, and a small end-to-end
  * simulation — so performance regressions in the substrate are visible.
+ *
+ * In addition to the google-benchmark suite, main() hand-times the
+ * schedule/pop/cancel mix (>= 1M events) on both the current EventQueue
+ * and a frozen copy of the seed implementation, plus an end-to-end
+ * parallel sweep, and writes the results to BENCH_micro.json so the
+ * perf trajectory (and the queue-redesign speedup) is tracked across
+ * PRs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
 #include "blk/qos_cost.hh"
 #include "cgroup/cgroup.hh"
 #include "common/rng.hh"
+#include "common/strings.hh"
+#include "isolbench/scenario.hh"
+#include "isolbench/sweep.hh"
 #include "sim/simulator.hh"
 #include "ssd/config.hh"
 #include "ssd/device.hh"
@@ -21,6 +37,139 @@ using namespace isol;
 
 namespace
 {
+
+/**
+ * The seed's event queue (std::priority_queue<std::function> + an
+ * unordered_set cancellation side-table), kept verbatim as the baseline
+ * the BENCH_micro.json speedup is measured against.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    uint64_t
+    schedule(SimTime when, Callback cb)
+    {
+        uint64_t id = next_id_++;
+        heap_.push(Event{when, id, std::move(cb)});
+        return id;
+    }
+
+    bool
+    cancel(uint64_t id)
+    {
+        if (id == 0 || id >= next_id_)
+            return false;
+        return cancelled_.insert(id).second;
+    }
+
+    bool
+    empty()
+    {
+        skipCancelled();
+        return heap_.empty();
+    }
+
+    std::pair<SimTime, Callback>
+    pop()
+    {
+        skipCancelled();
+        Event &top = const_cast<Event &>(heap_.top());
+        std::pair<SimTime, Callback> out{top.when, std::move(top.cb)};
+        heap_.pop();
+        return out;
+    }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        uint64_t id;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    void
+    skipCancelled()
+    {
+        while (!heap_.empty()) {
+            auto it = cancelled_.find(heap_.top().id);
+            if (it == cancelled_.end())
+                break;
+            cancelled_.erase(it);
+            heap_.pop();
+        }
+    }
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::unordered_set<uint64_t> cancelled_;
+    uint64_t next_id_ = 1;
+};
+
+/**
+ * The schedule/pop/cancel mix both queue implementations are timed on:
+ * a steady-state queue of ~1280 events where every iteration pops and
+ * reschedules, and every fourth iteration schedules a far-future event
+ * that is later cancelled while still pending. Returns the number of
+ * primitive queue operations performed.
+ */
+template <typename Queue>
+uint64_t
+mixedQueueWorkload(uint64_t iterations, uint64_t *fired_out = nullptr)
+{
+    Queue q;
+    Rng rng(7);
+    uint64_t fired = 0;
+    uint64_t ops = 0;
+    std::vector<uint64_t> cancellable;
+    cancellable.reserve(16);
+
+    for (int i = 0; i < 1024; ++i) {
+        q.schedule(static_cast<SimTime>(rng.below(1000)),
+                   [&fired] { ++fired; });
+        ++ops;
+    }
+    for (uint64_t i = 0; i < iterations; ++i) {
+        auto [now, cb] = q.pop();
+        cb();
+        ++ops;
+        q.schedule(now + 1 + static_cast<SimTime>(rng.below(1000)),
+                   [&fired] { ++fired; });
+        ++ops;
+        if ((i & 3) == 0) {
+            // Far enough out that the id is still pending when the
+            // batch below cancels it.
+            cancellable.push_back(q.schedule(
+                now + 100000 + static_cast<SimTime>(rng.below(1000)),
+                [&fired] { ++fired; }));
+            ++ops;
+            if (cancellable.size() >= 16) {
+                for (uint64_t id : cancellable) {
+                    q.cancel(id);
+                    ++ops;
+                }
+                cancellable.clear();
+            }
+        }
+    }
+    while (!q.empty()) {
+        q.pop().second();
+        ++ops;
+    }
+    if (fired_out != nullptr)
+        *fired_out = fired;
+    return ops;
+}
 
 void
 BM_EventQueueScheduleRun(benchmark::State &state)
@@ -54,6 +203,58 @@ BM_EventQueueCascade(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_EventQueueCascade);
+
+void
+BM_EventQueueMixed(benchmark::State &state)
+{
+    uint64_t ops = 0;
+    for (auto _ : state)
+        ops += mixedQueueWorkload<sim::EventQueue>(1 << 20);
+    state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_EventQueueMixed)->Unit(benchmark::kMillisecond);
+
+void
+BM_LegacyEventQueueMixed(benchmark::State &state)
+{
+    uint64_t ops = 0;
+    for (auto _ : state)
+        ops += mixedQueueWorkload<LegacyEventQueue>(1 << 20);
+    state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_LegacyEventQueueMixed)->Unit(benchmark::kMillisecond);
+
+/** One tiny end-to-end scenario, as the sweep-throughput work unit. */
+uint64_t
+runMiniScenario(uint64_t seed)
+{
+    isolbench::ScenarioConfig cfg;
+    cfg.name = strCat("micro-sweep-", seed);
+    cfg.knob = isolbench::Knob::kIoCost;
+    cfg.num_cores = 4;
+    cfg.duration = msToNs(60);
+    cfg.warmup = msToNs(20);
+    cfg.seed = seed;
+    isolbench::Scenario scenario(cfg);
+    scenario.addApp(workload::lcApp("lc", cfg.duration), "lc");
+    scenario.addApp(workload::beApp("be", cfg.duration), "be");
+    scenario.run();
+    return scenario.sim().eventsExecuted();
+}
+
+void
+BM_SweepFanout(benchmark::State &state)
+{
+    uint64_t events = 0;
+    for (auto _ : state) {
+        auto per_run = isolbench::sweep::map<uint64_t>(
+            8, [](size_t i) { return runMiniScenario(i + 1); });
+        for (uint64_t e : per_run)
+            events += e;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_SweepFanout)->Unit(benchmark::kMillisecond);
 
 void
 BM_HistogramRecord(benchmark::State &state)
@@ -137,6 +338,97 @@ BM_SsdRandomRead4k(benchmark::State &state)
 }
 BENCHMARK(BM_SsdRandomRead4k)->Unit(benchmark::kMillisecond);
 
+/** Best-of-three wall time (seconds) for `fn()`. */
+template <typename Fn>
+double
+bestOfThree(Fn fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        if (wall.count() < best)
+            best = wall.count();
+    }
+    return best;
+}
+
+/**
+ * Hand-timed queue comparison + end-to-end sweep throughput, written to
+ * BENCH_micro.json. Kept outside google-benchmark so the JSON schema
+ * (in particular the legacy-vs-current speedup) is stable for trackers.
+ */
+void
+writeMicroJson(const char *path)
+{
+    constexpr uint64_t kIterations = 1 << 20; // >= 1M mixed events
+    uint64_t ops = 0;
+    double legacy_s =
+        bestOfThree([&] { ops = mixedQueueWorkload<LegacyEventQueue>(
+                              kIterations); });
+    double current_s =
+        bestOfThree([&] { ops = mixedQueueWorkload<sim::EventQueue>(
+                              kIterations); });
+    double legacy_ops_per_sec = static_cast<double>(ops) / legacy_s;
+    double current_ops_per_sec = static_cast<double>(ops) / current_s;
+
+    isolbench::sweep::clearProfiles();
+    uint64_t sweep_events = 0;
+    double sweep_s = bestOfThree([&] {
+        sweep_events = 0;
+        auto per_run = isolbench::sweep::map<uint64_t>(
+            8, [](size_t i) { return runMiniScenario(i + 1); });
+        for (uint64_t e : per_run)
+            sweep_events += e;
+    });
+
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "warning: could not write %s\n", path);
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"event_queue_mixed\": {\n"
+                 "    \"ops\": %llu,\n"
+                 "    \"legacy_ops_per_sec\": %.0f,\n"
+                 "    \"current_ops_per_sec\": %.0f,\n"
+                 "    \"speedup_vs_seed\": %.3f\n"
+                 "  },\n"
+                 "  \"sweep_end_to_end\": {\n"
+                 "    \"scenarios\": 8,\n"
+                 "    \"jobs\": %u,\n"
+                 "    \"events\": %llu,\n"
+                 "    \"wall_s\": %.4f,\n"
+                 "    \"events_per_sec\": %.0f\n"
+                 "  }\n"
+                 "}\n",
+                 static_cast<unsigned long long>(ops),
+                 legacy_ops_per_sec, current_ops_per_sec,
+                 current_ops_per_sec / legacy_ops_per_sec,
+                 isolbench::sweep::defaultJobs(),
+                 static_cast<unsigned long long>(sweep_events), sweep_s,
+                 static_cast<double>(sweep_events) / sweep_s);
+    std::fclose(f);
+    std::printf("BENCH_micro.json: event-queue speedup vs seed %.2fx "
+                "(%.1f -> %.1f Mops/s), sweep %.2f Mevents/s\n",
+                current_ops_per_sec / legacy_ops_per_sec,
+                legacy_ops_per_sec / 1e6, current_ops_per_sec / 1e6,
+                static_cast<double>(sweep_events) / sweep_s / 1e6);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeMicroJson("BENCH_micro.json");
+    return 0;
+}

@@ -33,6 +33,7 @@
 #include "isolbench/d2_fairness.hh"
 #include "isolbench/d3_tradeoffs.hh"
 #include "isolbench/d4_bursts.hh"
+#include "isolbench/sweep.hh"
 #include "stats/table.hh"
 
 using namespace isol;
@@ -52,8 +53,9 @@ verdict(bool good, bool partial = false)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bool quick = bench::quickMode();
     std::printf("Table I: performance isolation desiderata for cgroups "
                 "I/O control knobs\n(v = achieved, - = partial/depends, "
@@ -76,8 +78,10 @@ main()
     d4.threshold = 0.9;
 
     // Baselines from the no-knob configuration.
-    auto none_lat = runLcScaling(Knob::kNone, 1, d1);
-    auto none_bw = runBatchScaling(Knob::kNone, 8, 1, d1);
+    LcScalingResult none_lat;
+    BatchScalingResult none_bw;
+    sweep::run({[&] { none_lat = runLcScaling(Knob::kNone, 1, d1); },
+                [&] { none_bw = runBatchScaling(Knob::kNone, 8, 1, d1); }});
 
     stats::Table table({"cgroups I/O control knob", "Low Overhead",
                         "Proportional Fairness",
@@ -89,7 +93,7 @@ main()
         Knob knob;
         const char *label;
     };
-    const RowSpec rows[] = {
+    const std::vector<RowSpec> rows = {
         {Knob::kMqDeadline, "io.prio.class + MQ-DL"},
         {Knob::kBfq, "io.bfq.weight + BFQ"},
         {Knob::kIoMax, "io.max"},
@@ -97,8 +101,19 @@ main()
         {Knob::kIoCost, "io.cost + io.weight"},
     };
 
-    for (const RowSpec &row : rows) {
-        Knob knob = row.knob;
+    // Each knob's verdicts come from an independent batch of runs, so
+    // the five rows evaluate concurrently; the table is assembled from
+    // the collected slots in row order.
+    struct RowVerdicts
+    {
+        const char *overhead;
+        const char *fairness;
+        const char *tradeoff;
+        const char *bursts;
+    };
+    std::vector<RowVerdicts> verdicts = sweep::map<RowVerdicts>(
+        rows.size(), [&](size_t row_idx) {
+        Knob knob = rows[row_idx].knob;
 
         // D1: low overhead.
         auto lat = runLcScaling(knob, 1, d1);
@@ -193,7 +208,13 @@ main()
             bursts = verdict(burst_ok);
         }
 
-        table.addRow({row.label, overhead, fairness, tradeoff, bursts});
+        return RowVerdicts{overhead, fairness, tradeoff, bursts};
+    });
+
+    for (size_t i = 0; i < rows.size(); ++i) {
+        table.addRow({rows[i].label, verdicts[i].overhead,
+                      verdicts[i].fairness, verdicts[i].tradeoff,
+                      verdicts[i].bursts});
     }
 
     std::fputs(table.toAligned().c_str(), stdout);
@@ -203,5 +224,6 @@ main()
                 "  io.max                : v - - -\n"
                 "  io.latency            : v x - x\n"
                 "  io.cost + io.weight   : - v v v\n");
+    bench::emitSweepReport();
     return 0;
 }

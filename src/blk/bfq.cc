@@ -21,14 +21,15 @@ Bfq::~Bfq()
 Bfq::Queue &
 Bfq::queueFor(cgroup::Cgroup *cg)
 {
-    auto [it, inserted] = queues_.try_emplace(cg);
+    auto [it, inserted] = queue_index_.try_emplace(cg, queues_.size());
     if (inserted) {
-        it->second.cg = cg;
+        Queue &q = queues_.emplace_back();
+        q.cg = cg;
         // New/empty queues start at the current virtual time so they
         // cannot claim service for their idle past.
-        it->second.vfinish = vtime_;
+        q.vfinish = vtime_;
     }
-    return it->second;
+    return queues_[it->second];
 }
 
 double
@@ -75,9 +76,10 @@ Bfq::insert(Request *req)
 Bfq::Queue *
 Bfq::pickQueue()
 {
+    // Creation-order iteration with strict `<` makes tie-breaks
+    // deterministic: on equal vfinish the earliest-created queue wins.
     Queue *best = nullptr;
-    for (auto &[cg, q] : queues_) {
-        (void)cg;
+    for (Queue &q : queues_) {
         if (q.fifo.empty())
             continue;
         if (best == nullptr || q.vfinish < best->vfinish)

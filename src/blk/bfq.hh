@@ -75,7 +75,12 @@ class Bfq : public Elevator
     cgroup::CgroupTree &tree_;
     BfqParams params_;
 
-    std::unordered_map<const cgroup::Cgroup *, Queue> queues_;
+    /** Queues in creation order. Iteration order must not depend on
+     *  pointer values: heap addresses vary across runs and threads, and
+     *  pickQueue() breaks virtual-time ties by iteration order. A
+     *  deque keeps references stable across growth. */
+    std::unordered_map<const cgroup::Cgroup *, size_t> queue_index_;
+    std::deque<Queue> queues_;
     Queue *in_service_ = nullptr;
     bool idling_ = false;
     sim::EventId idle_event_ = sim::kInvalidEventId;

@@ -29,12 +29,13 @@ IoCostGate::start()
 IoCostGate::CgState &
 IoCostGate::stateFor(const cgroup::Cgroup *cg)
 {
-    auto [it, inserted] = states_.try_emplace(cg);
+    auto [it, inserted] = state_index_.try_emplace(cg, states_.size());
     if (inserted) {
-        it->second.cg = cg;
-        it->second.vtime = vnow_;
+        CgState &st = states_.emplace_back();
+        st.cg = cg;
+        st.vtime = vnow_;
     }
-    return it->second;
+    return states_[it->second];
 }
 
 SimTime
@@ -93,24 +94,24 @@ IoCostGate::recomputeShares()
     // each active group's hierarchical weight share among marked
     // siblings (weight donation: idle groups are simply not counted).
     std::unordered_map<const cgroup::Cgroup *, bool> marked;
-    for (auto &[cg, st] : states_) {
-        if (!st.active || cg == nullptr)
+    for (CgState &st : states_) {
+        if (!st.active || st.cg == nullptr)
             continue;
-        const cgroup::Cgroup *node = cg;
+        const cgroup::Cgroup *node = st.cg;
         while (node != nullptr && !marked[node]) {
             marked[node] = true;
             node = node->parent();
         }
     }
-    for (auto &[cg, st] : states_) {
-        if (cg == nullptr) {
+    for (CgState &st : states_) {
+        if (st.cg == nullptr) {
             st.share = 1.0;
             continue;
         }
         if (!st.active)
             continue;
         double share = 1.0;
-        const cgroup::Cgroup *node = cg;
+        const cgroup::Cgroup *node = st.cg;
         while (!node->isRoot()) {
             const cgroup::Cgroup *parent = node->parent();
             uint64_t sum = 0;
@@ -144,8 +145,7 @@ IoCostGate::donateShares()
     double receiver_raw_sum = 0.0;
     std::vector<CgState *> receivers;
 
-    for (auto &[cg, st] : states_) {
-        (void)cg;
+    for (CgState &st : states_) {
         if (!st.active)
             continue;
         double usage = st.period_abs / period_cap;
@@ -178,15 +178,13 @@ IoCostGate::donateShares()
     // no group sits below its raw entitlement (the D1 "must not
     // throttle" configurations rely on this).
     double raw_sum = 0.0;
-    for (auto &[cg, st] : states_) {
-        (void)cg;
+    for (CgState &st : states_) {
         if (st.active)
             raw_sum += st.raw_share;
     }
     if (raw_sum <= 0.0)
         return;
-    for (auto &[cg, st] : states_) {
-        (void)cg;
+    for (CgState &st : states_) {
         if (st.active)
             st.share += surplus * st.raw_share / raw_sum;
     }
@@ -301,8 +299,7 @@ IoCostGate::periodWork()
 
     // Deactivate groups idle for more than two periods (weight donation).
     bool changed = false;
-    for (auto &[cg, st] : states_) {
-        (void)cg;
+    for (CgState &st : states_) {
         if (st.active && st.queue.empty() &&
             sim_.now() - st.last_io > 2 * params_.period) {
             st.active = false;
@@ -340,8 +337,7 @@ IoCostGate::periodWork()
     window_write_lat_.clear();
 
     // Wakeup estimates are stale after a vrate change: re-drain.
-    for (auto &[cg, st] : states_) {
-        (void)cg;
+    for (CgState &st : states_) {
         if (!st.queue.empty())
             drain(st);
     }

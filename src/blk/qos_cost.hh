@@ -154,7 +154,13 @@ class IoCostGate
     IoCostParams params_;
     CpuChargeFn cpu_charge_;
 
-    std::unordered_map<const cgroup::Cgroup *, CgState> states_;
+    /** Group states in creation order. donateShares() folds floating-
+     *  point sums and periodWork() re-drains queues while iterating, so
+     *  iteration order must not depend on pointer hash values (heap
+     *  addresses vary across runs/threads). The deque keeps references
+     *  stable across growth. */
+    std::unordered_map<const cgroup::Cgroup *, size_t> state_index_;
+    std::deque<CgState> states_;
     std::unique_ptr<sim::PeriodicTimer> timer_;
 
     double vrate_ = 1.0;

@@ -24,12 +24,13 @@ IoLatencyGate::start()
 IoLatencyGate::CgState &
 IoLatencyGate::stateFor(const cgroup::Cgroup *cg)
 {
-    auto [it, inserted] = states_.try_emplace(cg);
+    auto [it, inserted] = state_index_.try_emplace(cg, states_.size());
     if (inserted) {
-        it->second.cg = cg;
-        it->second.qd_limit = params_.max_nr_requests;
+        CgState &st = states_.emplace_back();
+        st.cg = cg;
+        st.qd_limit = params_.max_nr_requests;
     }
-    return it->second;
+    return states_[it->second];
 }
 
 uint32_t
@@ -87,10 +88,10 @@ IoLatencyGate::windowTick()
     // on behalf of groups with *stricter* (smaller) targets.
     SimTime strictest_violated = kSimTimeMax;
     bool any_violated = false;
-    for (auto &[cg, st] : states_) {
-        if (cg == nullptr)
+    for (CgState &st : states_) {
+        if (st.cg == nullptr)
             continue;
-        SimTime target = cg->ioLatencyTarget(dev_);
+        SimTime target = st.cg->ioLatencyTarget(dev_);
         if (target <= 0 || st.window_lat.count() == 0)
             continue;
         SimTime p = st.window_lat.percentile(params_.percentile);
@@ -100,9 +101,9 @@ IoLatencyGate::windowTick()
         }
     }
 
-    for (auto &[cg, st] : states_) {
+    for (CgState &st : states_) {
         SimTime target =
-            cg == nullptr ? kSimTimeMax : cg->ioLatencyTarget(dev_);
+            st.cg == nullptr ? kSimTimeMax : st.cg->ioLatencyTarget(dev_);
         if (target <= 0)
             target = kSimTimeMax; // no target: lowest priority
         bool is_victim = any_violated && target > strictest_violated;

@@ -94,7 +94,12 @@ class IoLatencyGate
     cgroup::DeviceId dev_;
     PassFn pass_;
     IoLatencyParams params_;
-    std::unordered_map<const cgroup::Cgroup *, CgState> states_;
+    /** Group states in creation order. windowTick() drains queues while
+     *  iterating, so iteration order must not depend on pointer hash
+     *  values (heap addresses vary across runs/threads). The deque
+     *  keeps references stable across growth. */
+    std::unordered_map<const cgroup::Cgroup *, size_t> state_index_;
+    std::deque<CgState> states_;
     std::unique_ptr<sim::PeriodicTimer> timer_;
     size_t throttled_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "isolbench/d2_fairness.hh"
 
 #include "common/logging.hh"
+#include "isolbench/sweep.hh"
 #include "stats/fairness.hh"
 #include "stats/summary.hh"
 
@@ -82,6 +83,8 @@ runFairness(Knob knob, uint32_t cgroups, bool weighted, FairnessMix mix,
 {
     if (cgroups == 0)
         fatal("runFairness: need at least one cgroup");
+    if (opts.repeats == 0)
+        fatal("runFairness: need at least one repeat");
 
     FairnessResult result;
     result.knob = knob;
@@ -89,10 +92,20 @@ runFairness(Knob knob, uint32_t cgroups, bool weighted, FairnessMix mix,
     result.weighted = weighted;
     result.mix = mix;
 
-    stats::Summary jain_summary;
-    stats::Summary agg_summary;
+    /** One repeat's measurements, collected by repeat index. */
+    struct RepeatResult
+    {
+        double jain = 0.0;
+        double agg_gibs = 0.0;
+        std::vector<double> group_bw;
+    };
 
-    for (uint32_t rep = 0; rep < opts.repeats; ++rep) {
+    // Every repeat owns its whole simulated system and differs only in
+    // seed, so the multi-seed std-dev loop fans out across the sweep
+    // pool; the summaries are folded in repeat order afterwards to keep
+    // the floating-point results identical to a sequential run.
+    std::vector<RepeatResult> reps = sweep::map<RepeatResult>(
+        opts.repeats, [&](size_t rep) {
         ScenarioConfig cfg;
         cfg.name = strCat("d2-", knobName(knob), "-", cgroups,
                           weighted ? "-weighted-" : "-uniform-",
@@ -164,20 +177,28 @@ runFairness(Knob knob, uint32_t cgroups, bool weighted, FairnessMix mix,
         scenario.run();
 
         // Per-cgroup bandwidth.
-        std::vector<double> group_bw(cgroups, 0.0);
+        RepeatResult out;
+        out.group_bw.assign(cgroups, 0.0);
         for (uint32_t i = 0; i < scenario.numApps(); ++i)
-            group_bw[i / opts.apps_per_cgroup] += scenario.appGiBs(i);
+            out.group_bw[i / opts.apps_per_cgroup] += scenario.appGiBs(i);
 
         std::vector<double> weights(cgroups, 1.0);
         if (weighted) {
             for (uint32_t g = 0; g < cgroups; ++g)
                 weights[g] = static_cast<double>(g + 1);
         }
-        jain_summary.add(stats::weightedJainIndex(group_bw, weights));
-        agg_summary.add(scenario.aggregateGiBs());
-        if (rep == opts.repeats - 1)
-            result.per_group_gibs = group_bw;
+        out.jain = stats::weightedJainIndex(out.group_bw, weights);
+        out.agg_gibs = scenario.aggregateGiBs();
+        return out;
+    });
+
+    stats::Summary jain_summary;
+    stats::Summary agg_summary;
+    for (const RepeatResult &rep : reps) {
+        jain_summary.add(rep.jain);
+        agg_summary.add(rep.agg_gibs);
     }
+    result.per_group_gibs = reps.back().group_bw;
 
     result.jain_mean = jain_summary.mean();
     result.jain_std = jain_summary.stddev();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "isolbench/sweep.hh"
 
 namespace isol::isolbench
 {
@@ -185,9 +186,8 @@ std::vector<TradeoffPoint>
 runTradeoffSweep(Knob knob, PriorityAppKind kind, BeWorkload be,
                  const TradeoffOptions &opts)
 {
-    std::vector<KnobSetting> sweep = buildSweep(knob, kind, opts.coarsen);
-    std::vector<TradeoffPoint> points;
-    points.reserve(sweep.size());
+    std::vector<KnobSetting> settings = buildSweep(knob, kind,
+                                                   opts.coarsen);
 
     // io.latency acts through 500 ms windows (one QD halving each), so
     // its configurations need several seconds to reach their operating
@@ -199,7 +199,10 @@ runTradeoffSweep(Knob knob, PriorityAppKind kind, BeWorkload be,
         warmup = duration * 2 / 3;
     }
 
-    for (const KnobSetting &setting : sweep) {
+    // Each configuration is an independent simulation; fan the grid out
+    // across the sweep pool, results landing in config order.
+    return sweep::map<TradeoffPoint>(settings.size(), [&](size_t idx) {
+        const KnobSetting &setting = settings[idx];
         ScenarioConfig cfg;
         cfg.name = strCat("d3-", knobName(knob), "-",
                           priorityAppKindName(kind), "-",
@@ -241,9 +244,8 @@ runTradeoffSweep(Knob knob, PriorityAppKind kind, BeWorkload be,
         point.priority_gibs = scenario.appGiBs(prio_idx);
         point.priority_p99_us =
             nsToUs(scenario.app(prio_idx).latency().percentile(99));
-        points.push_back(std::move(point));
-    }
-    return points;
+        return point;
+    });
 }
 
 } // namespace isol::isolbench

@@ -1,8 +1,10 @@
 #include "isolbench/scenario.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
+#include "isolbench/sweep.hh"
 
 namespace isol::isolbench
 {
@@ -257,7 +259,21 @@ Scenario::run()
     sim_.at(cfg_.warmup, [this] {
         busy_at_warmup_ = cpus_->totalBusyNs();
     });
+    auto wall_start = std::chrono::steady_clock::now();
     sim_.runUntil(cfg_.duration);
+    std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - wall_start;
+
+    sweep::ScenarioProfile profile;
+    profile.name = cfg_.name;
+    profile.wall_ms = wall.count();
+    profile.events = sim_.eventsExecuted();
+    profile.events_per_sec =
+        profile.wall_ms > 0.0
+            ? static_cast<double>(profile.events) / (profile.wall_ms / 1e3)
+            : 0.0;
+    profile.peak_queue_depth = sim_.peakQueueDepth();
+    sweep::recordProfile(std::move(profile));
 }
 
 double

@@ -1,0 +1,191 @@
+#include "isolbench/sweep.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace isol::isolbench::sweep
+{
+
+namespace
+{
+
+/** CLI/bench override; 0 = resolve automatically. */
+std::atomic<uint32_t> g_jobs_override{0};
+
+/** Set while executing inside a pool worker: nested sweeps go inline. */
+thread_local bool t_in_worker = false;
+
+uint32_t
+autoJobs()
+{
+    if (const char *env = std::getenv("ISOL_JOBS")) {
+        if (auto parsed = parseUint(env); parsed && *parsed > 0)
+            return static_cast<uint32_t>(*parsed);
+    }
+    uint32_t hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::mutex g_profile_mutex;
+std::vector<ScenarioProfile> g_profiles;
+
+void
+appendJsonProfile(std::string &out, const ScenarioProfile &p)
+{
+    out += strCat("    {\"name\": \"", p.name, "\", \"wall_ms\": ",
+                  formatDouble(p.wall_ms, 3), ", \"events\": ", p.events,
+                  ", \"events_per_sec\": ",
+                  formatDouble(p.events_per_sec, 0),
+                  ", \"peak_queue_depth\": ", p.peak_queue_depth, "}");
+}
+
+} // namespace
+
+uint32_t
+defaultJobs()
+{
+    uint32_t override = g_jobs_override.load(std::memory_order_relaxed);
+    return override != 0 ? override : autoJobs();
+}
+
+void
+setDefaultJobs(uint32_t jobs)
+{
+    g_jobs_override.store(jobs, std::memory_order_relaxed);
+}
+
+void
+run(std::vector<std::function<void()>> tasks, uint32_t jobs)
+{
+    size_t n = tasks.size();
+    if (n == 0)
+        return;
+
+    std::vector<std::exception_ptr> errors(n);
+    std::atomic<size_t> next{0};
+    auto drain = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            try {
+                tasks[i]();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    uint32_t workers = jobs != 0 ? jobs : defaultJobs();
+    if (workers > n)
+        workers = static_cast<uint32_t>(n);
+    if (workers <= 1 || t_in_worker) {
+        drain();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (uint32_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&drain] {
+                t_in_worker = true;
+                drain();
+                t_in_worker = false;
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (std::exception_ptr &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+}
+
+void
+recordProfile(ScenarioProfile profile)
+{
+    std::lock_guard<std::mutex> lock(g_profile_mutex);
+    g_profiles.push_back(std::move(profile));
+}
+
+std::vector<ScenarioProfile>
+profiles()
+{
+    std::lock_guard<std::mutex> lock(g_profile_mutex);
+    return g_profiles;
+}
+
+void
+clearProfiles()
+{
+    std::lock_guard<std::mutex> lock(g_profile_mutex);
+    g_profiles.clear();
+}
+
+ProfileSummary
+profileSummary()
+{
+    ProfileSummary summary;
+    std::lock_guard<std::mutex> lock(g_profile_mutex);
+    for (const ScenarioProfile &p : g_profiles) {
+        ++summary.scenarios;
+        summary.wall_ms += p.wall_ms;
+        summary.events += p.events;
+        if (p.peak_queue_depth > summary.peak_queue_depth)
+            summary.peak_queue_depth = p.peak_queue_depth;
+    }
+    if (summary.wall_ms > 0.0) {
+        summary.events_per_sec = static_cast<double>(summary.events) /
+                                 (summary.wall_ms / 1e3);
+    }
+    return summary;
+}
+
+std::string
+profileSummaryLine()
+{
+    ProfileSummary s = profileSummary();
+    return strCat("[sweep] ", s.scenarios, " scenarios, ",
+                  s.events, " events in ", formatDouble(s.wall_ms, 1),
+                  " ms sim-cpu (", formatDouble(s.events_per_sec / 1e6, 2),
+                  " M events/s, peak queue depth ", s.peak_queue_depth,
+                  ", jobs=", defaultJobs(), ")");
+}
+
+bool
+writeProfileJson(const std::string &path)
+{
+    ProfileSummary s = profileSummary();
+    std::vector<ScenarioProfile> all = profiles();
+
+    std::string out = "{\n";
+    out += strCat("  \"jobs\": ", defaultJobs(), ",\n");
+    out += strCat("  \"scenarios\": ", s.scenarios, ",\n");
+    out += strCat("  \"wall_ms\": ", formatDouble(s.wall_ms, 3), ",\n");
+    out += strCat("  \"events\": ", s.events, ",\n");
+    out += strCat("  \"events_per_sec\": ",
+                  formatDouble(s.events_per_sec, 0), ",\n");
+    out += strCat("  \"peak_queue_depth\": ", s.peak_queue_depth, ",\n");
+    out += "  \"per_scenario\": [\n";
+    for (size_t i = 0; i < all.size(); ++i) {
+        appendJsonProfile(out, all[i]);
+        out += i + 1 < all.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace isol::isolbench::sweep

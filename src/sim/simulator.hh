@@ -39,6 +39,9 @@ class Simulator
     /** Total events executed so far (for performance reporting). */
     uint64_t eventsExecuted() const { return events_executed_; }
 
+    /** High-water mark of pending events (for performance reporting). */
+    size_t peakQueueDepth() const { return queue_.peakDepth(); }
+
     /** Schedule at an absolute time; must not be in the past. */
     EventId
     at(SimTime when, Callback cb)

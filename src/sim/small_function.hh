@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Small-buffer-optimised move-only callable for the DES hot path.
+ *
+ * `std::function` only stores two machine words inline (libstdc++), so
+ * the pointer+id+index captures that simulator components schedule by the
+ * million spill to the heap. SmallCallback keeps a 48-byte inline buffer —
+ * enough for every capture in the tree (a `this` pointer, a request
+ * pointer, an id, and change) — and falls back to the heap only for
+ * oversized or throwing-move callables, so scheduling stays allocation
+ * free in practice.
+ */
+
+#ifndef ISOL_SIM_SMALL_FUNCTION_HH
+#define ISOL_SIM_SMALL_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace isol::sim
+{
+
+/** Move-only `void()` callable with a 48-byte inline buffer. */
+class SmallCallback
+{
+  public:
+    /** Inline storage size; callables up to this size never allocate. */
+    static constexpr size_t kInlineBytes = 48;
+
+    SmallCallback() noexcept = default;
+    SmallCallback(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, SmallCallback> &&
+                  std::is_invocable_r_v<void, D &>>>
+    SmallCallback(F &&fn)
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (storage()) D(std::forward<F>(fn));
+            ops_ = &inlineOps<D>;
+        } else {
+            *reinterpret_cast<void **>(storage()) =
+                new D(std::forward<F>(fn));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    SmallCallback(SmallCallback &&other) noexcept { moveFrom(other); }
+
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    /** Drop the held callable (frees captured resources). */
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage());
+            ops_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(storage());
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *self);
+        void (*move)(void *self, void *dst) noexcept;
+        void (*destroy)(void *self) noexcept;
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= kInlineBytes &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    static constexpr Ops inlineOps = {
+        [](void *self) { (*static_cast<D *>(self))(); },
+        [](void *self, void *dst) noexcept {
+            ::new (dst) D(std::move(*static_cast<D *>(self)));
+            static_cast<D *>(self)->~D();
+        },
+        [](void *self) noexcept { static_cast<D *>(self)->~D(); },
+    };
+
+    template <typename D>
+    static constexpr Ops heapOps = {
+        [](void *self) { (**static_cast<D **>(self))(); },
+        [](void *self, void *dst) noexcept {
+            *static_cast<D **>(dst) = *static_cast<D **>(self);
+        },
+        [](void *self) noexcept { delete *static_cast<D **>(self); },
+    };
+
+    void *storage() noexcept { return buf_; }
+
+    void
+    moveFrom(SmallCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->move(other.storage(), storage());
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace isol::sim
+
+#endif // ISOL_SIM_SMALL_FUNCTION_HH

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "common/rng.hh"
 #include "sim/event_queue.hh"
 #include "sim/simulator.hh"
+#include "sim/small_function.hh"
 
 namespace isol::sim
 {
@@ -81,6 +85,173 @@ TEST(EventQueue, EmptyNextTimeIsMax)
 {
     EventQueue q;
     EXPECT_EQ(q.nextTime(), kSimTimeMax);
+}
+
+TEST(EventQueue, CancelAfterFireDoesNotLeak)
+{
+    // Regression for the seed implementation: cancelling an id whose
+    // event already fired inserted a permanent marker into the
+    // cancellation side-table (it could never match the heap top),
+    // growing memory over long runs and skewing size(). The slotted
+    // queue must keep size() exact and reject the stale id.
+    EventQueue q;
+    std::vector<EventId> fired_ids;
+    for (int round = 0; round < 1000; ++round) {
+        EventId id = q.schedule(round, [] {});
+        ASSERT_EQ(q.size(), 1u);
+        q.pop().second();
+        fired_ids.push_back(id);
+        EXPECT_FALSE(q.cancel(id)) << "cancel of fired id must fail";
+        EXPECT_EQ(q.size(), 0u);
+        EXPECT_TRUE(q.empty());
+    }
+    // Stale ids stay dead even after their slots are reused.
+    q.schedule(5000, [] {});
+    q.schedule(5001, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    for (EventId id : fired_ids)
+        EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.nextTime(), 5000);
+}
+
+TEST(EventQueue, CancelledSlotReuseKeepsIdsDistinct)
+{
+    EventQueue q;
+    EventId a = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(a));
+    // The slot is recycled eventually; the old handle must never hit
+    // the new occupant.
+    EventId b = q.schedule(20, [] {});
+    EXPECT_FALSE(q.cancel(a));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.cancel(b));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomizedAgainstReferenceOrdering)
+{
+    // Drive the 4-ary slotted heap against a std::multimap reference
+    // with a schedule/pop/cancel mix; pop order must match exactly
+    // (time-ordered, insertion-order tie-break).
+    EventQueue q;
+    std::multimap<std::pair<SimTime, uint64_t>, int> reference;
+    Rng rng(99);
+    uint64_t seq = 0;
+    std::vector<std::pair<EventId, std::pair<SimTime, uint64_t>>> pending;
+    int fired = 0;
+    std::vector<int> got;
+    std::vector<int> want;
+
+    for (int step = 0; step < 5000; ++step) {
+        double dice = rng.uniform();
+        if (dice < 0.55 || reference.empty()) {
+            auto when = static_cast<SimTime>(rng.below(64));
+            int tag = static_cast<int>(seq);
+            EventId id = q.schedule(when, [tag, &got] {
+                got.push_back(tag);
+            });
+            auto key = std::make_pair(when, seq++);
+            reference.emplace(key, tag);
+            pending.emplace_back(id, key);
+        } else if (dice < 0.8) {
+            size_t pick = rng.below(pending.size());
+            EXPECT_TRUE(q.cancel(pending[pick].first));
+            reference.erase(reference.find(pending[pick].second));
+            pending.erase(pending.begin() +
+                          static_cast<ptrdiff_t>(pick));
+        } else {
+            auto it = reference.begin();
+            auto [when, cb] = q.pop();
+            EXPECT_EQ(when, it->first.first);
+            want.push_back(it->second);
+            cb();
+            ++fired;
+            for (size_t i = 0; i < pending.size(); ++i) {
+                if (pending[i].second == it->first) {
+                    pending.erase(pending.begin() +
+                                  static_cast<ptrdiff_t>(i));
+                    break;
+                }
+            }
+            reference.erase(it);
+        }
+        ASSERT_EQ(q.size(), reference.size());
+    }
+    while (!reference.empty()) {
+        auto it = reference.begin();
+        auto [when, cb] = q.pop();
+        EXPECT_EQ(when, it->first.first);
+        want.push_back(it->second);
+        cb();
+        reference.erase(it);
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(got, want);
+}
+
+TEST(EventQueue, PeakDepthHighWaterMark)
+{
+    EventQueue q;
+    EXPECT_EQ(q.peakDepth(), 0u);
+    for (int i = 0; i < 64; ++i)
+        q.schedule(i, [] {});
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(q.peakDepth(), 64u);
+    q.schedule(1, [] {});
+    EXPECT_EQ(q.peakDepth(), 64u); // high-water mark, not current depth
+}
+
+TEST(SmallCallback, InlineCaptureInvokes)
+{
+    int hits = 0;
+    uint64_t id = 42;
+    SmallCallback cb([&hits, id] { hits += static_cast<int>(id); });
+    ASSERT_TRUE(static_cast<bool>(cb));
+    cb();
+    EXPECT_EQ(hits, 42);
+}
+
+TEST(SmallCallback, OversizedCaptureFallsBackToHeap)
+{
+    struct Big
+    {
+        char pad[200];
+        int *counter;
+    };
+    int hits = 0;
+    Big big{};
+    big.counter = &hits;
+    static_assert(sizeof(Big) > SmallCallback::kInlineBytes);
+    SmallCallback cb([big] { ++*big.counter; });
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallCallback, MoveTransfersOwnership)
+{
+    auto counter = std::make_shared<int>(0);
+    SmallCallback a([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    SmallCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    b();
+    EXPECT_EQ(*counter, 1);
+    b = SmallCallback();
+    EXPECT_EQ(counter.use_count(), 1); // capture destroyed on reset
+}
+
+TEST(SmallCallback, CancelReleasesCapturedResources)
+{
+    auto counter = std::make_shared<int>(0);
+    EventQueue q;
+    EventId id = q.schedule(10, [counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+    q.cancel(id);
+    // O(1) cancel destroys the callback in place, not lazily at pop.
+    EXPECT_EQ(counter.use_count(), 1);
 }
 
 TEST(Simulator, ClockAdvances)

@@ -20,6 +20,8 @@
  *   --seed <n>            RNG seed (default 1)
  *   --faults <off|media|thermal|all>
  *                         fault-injection profile (default off)
+ *   --jobs <n>            sweep worker threads for parallel runners
+ *                         (default: hardware concurrency)
  *   --set <cgroup>:<file>=<value>
  *                         e.g. --set be:io.max="259:0 rbps=104857600"
  *   --csv                 emit CSV instead of an aligned table
@@ -48,6 +50,7 @@
 #include "common/strings.hh"
 #include "fault/fault.hh"
 #include "isolbench/scenario.hh"
+#include "isolbench/sweep.hh"
 #include "stats/fault_table.hh"
 #include "stats/table.hh"
 
@@ -92,6 +95,7 @@ printUsage()
         "  --cores N | --devices N | --device flash|optane\n"
         "  --duration MS | --warmup MS | --precondition | --seed N\n"
         "  --faults off|media|thermal|all\n"
+        "  --jobs N   (sweep worker threads; default hw concurrency)\n"
         "  --set CGROUP:FILE=VALUE   (kernel sysfs syntax)\n"
         "  --csv\n"
         "\n"
@@ -288,6 +292,11 @@ main(int argc, char **argv)
             if (!profile)
                 usageError("bad --faults (off|media|thermal|all)");
             cfg.faults = fault::profileConfig(*profile);
+        } else if (arg == "--jobs") {
+            auto parsed = parseUint(next_value(i, "--jobs"));
+            if (!parsed || *parsed == 0)
+                usageError("bad --jobs");
+            sweep::setDefaultJobs(static_cast<uint32_t>(*parsed));
         } else if (arg == "--app") {
             apps.push_back(parseApp(next_value(i, "--app"),
                                     cfg.duration - cfg.warmup +
