@@ -33,6 +33,7 @@ main(int argc, char **argv)
     BatchScalingResult bnone1, bmq1, bbfq1;
     BatchScalingResult bnone7, bmq7, bbfq7, bmax7, bcost7;
 
+    // isol: parallel
     sweep::run({
         [&] { none1 = runLcScaling(Knob::kNone, 1, opts); },
         [&] { mq1 = runLcScaling(Knob::kMqDeadline, 1, opts); },

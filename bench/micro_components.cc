@@ -15,7 +15,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <queue>
@@ -247,6 +246,7 @@ BM_SweepFanout(benchmark::State &state)
 {
     uint64_t events = 0;
     for (auto _ : state) {
+        // isol: parallel
         auto per_run = isolbench::sweep::map<uint64_t>(
             8, [](size_t i) { return runMiniScenario(i + 1); });
         for (uint64_t e : per_run)
@@ -345,12 +345,12 @@ bestOfThree(Fn fn)
 {
     double best = 1e300;
     for (int rep = 0; rep < 3; ++rep) {
-        auto start = std::chrono::steady_clock::now();
+        double start_ms = isolbench::sweep::monotonicMs();
         fn();
-        std::chrono::duration<double> wall =
-            std::chrono::steady_clock::now() - start;
-        if (wall.count() < best)
-            best = wall.count();
+        double wall_s =
+            (isolbench::sweep::monotonicMs() - start_ms) / 1e3;
+        if (wall_s < best)
+            best = wall_s;
     }
     return best;
 }
@@ -378,6 +378,7 @@ writeMicroJson(const char *path)
     uint64_t sweep_events = 0;
     double sweep_s = bestOfThree([&] {
         sweep_events = 0;
+        // isol: parallel
         auto per_run = isolbench::sweep::map<uint64_t>(
             8, [](size_t i) { return runMiniScenario(i + 1); });
         for (uint64_t e : per_run)

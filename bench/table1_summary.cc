@@ -80,6 +80,7 @@ main(int argc, char **argv)
     // Baselines from the no-knob configuration.
     LcScalingResult none_lat;
     BatchScalingResult none_bw;
+    // isol: parallel
     sweep::run({[&] { none_lat = runLcScaling(Knob::kNone, 1, d1); },
                 [&] { none_bw = runBatchScaling(Knob::kNone, 8, 1, d1); }});
 
@@ -111,6 +112,7 @@ main(int argc, char **argv)
         const char *tradeoff;
         const char *bursts;
     };
+    // isol: parallel
     std::vector<RowVerdicts> verdicts = sweep::map<RowVerdicts>(
         rows.size(), [&](size_t row_idx) {
         Knob knob = rows[row_idx].knob;

@@ -79,6 +79,8 @@ class Bfq : public Elevator
      *  pointer values: heap addresses vary across runs and threads, and
      *  pickQueue() breaks virtual-time ties by iteration order. A
      *  deque keeps references stable across growth. */
+    // isol-lint: allow(D1): lookup-only index into queues_; iteration
+    // always walks the creation-order deque
     std::unordered_map<const cgroup::Cgroup *, size_t> queue_index_;
     std::deque<Queue> queues_;
     Queue *in_service_ = nullptr;

@@ -93,6 +93,8 @@ IoCostGate::recomputeShares()
     // Mark every tree node that has an active descendant, then resolve
     // each active group's hierarchical weight share among marked
     // siblings (weight donation: idle groups are simply not counted).
+    // isol-lint: allow(D1): lookup-only visited set; the loops below
+    // iterate states_ (creation order) and tree children, never this map
     std::unordered_map<const cgroup::Cgroup *, bool> marked;
     for (CgState &st : states_) {
         if (!st.active || st.cg == nullptr)

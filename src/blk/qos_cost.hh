@@ -159,6 +159,8 @@ class IoCostGate
      *  iteration order must not depend on pointer hash values (heap
      *  addresses vary across runs/threads). The deque keeps references
      *  stable across growth. */
+    // isol-lint: allow(D1): lookup-only index into states_; iteration
+    // always walks the creation-order deque
     std::unordered_map<const cgroup::Cgroup *, size_t> state_index_;
     std::deque<CgState> states_;
     std::unique_ptr<sim::PeriodicTimer> timer_;

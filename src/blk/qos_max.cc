@@ -10,7 +10,7 @@ namespace isol::blk
 IoMaxGate::CgState &
 IoMaxGate::stateFor(const cgroup::Cgroup *cg)
 {
-    return states_[cg];
+    return state_by_cg_[cg];
 }
 
 namespace
@@ -104,7 +104,7 @@ IoMaxGate::submit(Request *req)
 void
 IoMaxGate::drain(const cgroup::Cgroup *cg)
 {
-    CgState &st = states_[cg];
+    CgState &st = state_by_cg_[cg];
     st.draining = false;
     while (!st.queue.empty()) {
         Request *head = st.queue.front();

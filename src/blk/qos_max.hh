@@ -90,7 +90,9 @@ class IoMaxGate
     sim::Simulator &sim_;
     cgroup::DeviceId dev_;
     PassFn pass_;
-    std::unordered_map<const cgroup::Cgroup *, CgState> states_;
+    // isol-lint: allow(D1): lookup-only (submit/drain address a single
+    // cgroup's state); never iterated, so address order cannot leak
+    std::unordered_map<const cgroup::Cgroup *, CgState> state_by_cg_;
     size_t throttled_ = 0;
 };
 

@@ -104,6 +104,7 @@ runFairness(Knob knob, uint32_t cgroups, bool weighted, FairnessMix mix,
     // seed, so the multi-seed std-dev loop fans out across the sweep
     // pool; the summaries are folded in repeat order afterwards to keep
     // the floating-point results identical to a sequential run.
+    // isol: parallel
     std::vector<RepeatResult> reps = sweep::map<RepeatResult>(
         opts.repeats, [&](size_t rep) {
         ScenarioConfig cfg;

@@ -1,7 +1,6 @@
 #include "isolbench/scenario.hh"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.hh"
 #include "isolbench/sweep.hh"
@@ -259,14 +258,13 @@ Scenario::run()
     sim_.at(cfg_.warmup, [this] {
         busy_at_warmup_ = cpus_->totalBusyNs();
     });
-    auto wall_start = std::chrono::steady_clock::now();
+    double wall_start_ms = sweep::monotonicMs();
     sim_.runUntil(cfg_.duration);
-    std::chrono::duration<double, std::milli> wall =
-        std::chrono::steady_clock::now() - wall_start;
+    double wall_ms = sweep::monotonicMs() - wall_start_ms;
 
     sweep::ScenarioProfile profile;
     profile.name = cfg_.name;
-    profile.wall_ms = wall.count();
+    profile.wall_ms = wall_ms;
     profile.events = sim_.eventsExecuted();
     profile.events_per_sec =
         profile.wall_ms > 0.0

@@ -1,6 +1,7 @@
 #include "isolbench/sweep.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -16,10 +17,18 @@ namespace isol::isolbench::sweep
 namespace
 {
 
+// The sweep engine is the one sanctioned piece of cross-run shared
+// state in src/: it exists to coordinate workers and collect profiles,
+// is mutex/atomic-protected, and never feeds simulated decisions.
+
 /** CLI/bench override; 0 = resolve automatically. */
+// isol-lint: allow(D4): engine-wide --jobs override, atomic, never read
+// by simulation code
 std::atomic<uint32_t> g_jobs_override{0};
 
 /** Set while executing inside a pool worker: nested sweeps go inline. */
+// isol-lint: allow(D4): marks pool threads so nested sweeps degrade to
+// inline execution; per-thread control flow, not simulation state
 thread_local bool t_in_worker = false;
 
 uint32_t
@@ -33,7 +42,10 @@ autoJobs()
     return hw > 0 ? hw : 1;
 }
 
+// isol-lint: allow(D4): protects the profile sink below
 std::mutex g_profile_mutex;
+// isol-lint: allow(D4): profiling sink (stderr/JSON only); recorded in
+// completion order by design, summaries fold commutatively
 std::vector<ScenarioProfile> g_profiles;
 
 void
@@ -106,6 +118,17 @@ run(std::vector<std::function<void()>> tasks, uint32_t jobs)
         if (err)
             std::rethrow_exception(err);
     }
+}
+
+double
+monotonicMs()
+{
+    // isol-lint: allow(D2): the sanctioned profiling clock; feeds
+    // stderr/BENCH_sweep.json only, never simulated state
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(
+               now.time_since_epoch())
+        .count();
 }
 
 void

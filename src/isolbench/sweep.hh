@@ -62,12 +62,21 @@ map(size_t n, Fn fn, uint32_t jobs = 0)
     std::vector<std::function<void()>> tasks;
     tasks.reserve(n);
     for (size_t i = 0; i < n; ++i)
+        // isol: parallel
         tasks.push_back([&out, fn, i] { out[i] = fn(i); });
     run(std::move(tasks), jobs);
     return out;
 }
 
 // --- Per-scenario self-profiling -------------------------------------
+
+/**
+ * Monotonic wall-clock reading in milliseconds. The single sanctioned
+ * profiling clock: wall time only ever feeds stderr summaries and
+ * BENCH_sweep.json, never simulated state (isol-lint rule D2 flags any
+ * other clock use).
+ */
+double monotonicMs();
 
 /** Wall-clock profile of one completed Scenario::run(). */
 struct ScenarioProfile

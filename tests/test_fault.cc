@@ -265,8 +265,9 @@ TEST(FtlBadBlocks, GrowRemapsAndRetires)
                  after.page != before.page;
     // (before was looked up for lpn=1234; re-check against the retired
     // lpn's new location only when it is the same lpn)
-    if (lpn == 1234)
+    if (lpn == 1234) {
         EXPECT_TRUE(moved);
+    }
 }
 
 TEST(FtlBadBlocks, UnmappedLpnRefused)

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Self-test for the isol-lint rule engine against the known-bad /
+ * known-good fixture corpus (tools/isol_lint/fixtures/), plus lexer
+ * unit tests and the cross-file D1 contract (declaration in a header,
+ * iteration in a .cc).
+ *
+ * Fixtures are linted under a synthetic `src/fixtures/` path so rules
+ * that are scoped to simulation code (D4) apply to them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "lint.hh"
+
+namespace
+{
+
+using isol_lint::FileInput;
+using isol_lint::Finding;
+using isol_lint::LintResult;
+using isol_lint::TokKind;
+
+std::string
+readFixture(const std::string &name)
+{
+    std::string path = std::string(ISOL_LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+LintResult
+lintFixture(const std::string &name)
+{
+    return isol_lint::lintFiles(
+        {{"src/fixtures/" + name, readFixture(name)}});
+}
+
+std::string
+describe(const std::vector<Finding> &findings)
+{
+    std::string out;
+    for (const Finding &f : findings) {
+        out += f.file + ":" + std::to_string(f.line) + " [" + f.rule +
+               "] " + f.message + "\n";
+    }
+    return out;
+}
+
+// --- Lexer -------------------------------------------------------------
+
+TEST(LintLexer, TokensCarryKindsAndLines)
+{
+    auto toks = isol_lint::tokenize(
+        "int x = 42; // note\n\"str\" 'c' a->b\n");
+    ASSERT_GE(toks.size(), 9u);
+    EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+    EXPECT_EQ(toks[0].text, "int");
+    EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+    EXPECT_EQ(toks[5].kind, TokKind::kComment);
+    EXPECT_EQ(toks[6].kind, TokKind::kString);
+    EXPECT_EQ(toks[6].line, 2);
+    EXPECT_EQ(toks[7].kind, TokKind::kChar);
+    // a -> b merged as one punct
+    EXPECT_EQ(toks[9].text, "->");
+}
+
+TEST(LintLexer, SkipsPreprocessorAndRawStrings)
+{
+    auto toks = isol_lint::tokenize(
+        "#include <ctime>\n#define T time(nullptr) \\\n  + 1\n"
+        "auto s = R\"x(rand() time())x\";\n");
+    for (const auto &t : toks) {
+        if (t.kind == TokKind::kIdent) {
+            EXPECT_NE(t.text, "time");
+            EXPECT_NE(t.text, "rand");
+        }
+    }
+    bool saw_raw = false;
+    for (const auto &t : toks)
+        saw_raw = saw_raw || (t.kind == TokKind::kString &&
+                              t.text.find("rand()") != std::string::npos);
+    EXPECT_TRUE(saw_raw);
+}
+
+TEST(LintLexer, BlockCommentLineAccounting)
+{
+    auto toks = isol_lint::tokenize("/* a\nb\nc */ int y;\n");
+    ASSERT_GE(toks.size(), 2u);
+    EXPECT_EQ(toks[0].kind, TokKind::kComment);
+    EXPECT_EQ(toks[1].text, "int");
+    EXPECT_EQ(toks[1].line, 3);
+}
+
+// --- Fixture corpus: each rule flags its bad file, passes its good ----
+
+struct RuleCase
+{
+    const char *rule;
+    const char *bad;
+    const char *good;
+};
+
+class LintFixture : public ::testing::TestWithParam<RuleCase>
+{
+};
+
+TEST_P(LintFixture, BadFixtureFlagsOnlyItsRule)
+{
+    const RuleCase &rc = GetParam();
+    LintResult result = lintFixture(rc.bad);
+    ASSERT_FALSE(result.findings.empty())
+        << rc.bad << " should trigger " << rc.rule;
+    for (const Finding &f : result.findings) {
+        EXPECT_EQ(f.rule, rc.rule)
+            << "unexpected cross-rule finding in " << rc.bad << ":\n"
+            << describe(result.findings);
+        EXPECT_FALSE(f.message.empty());
+        EXPECT_FALSE(f.hint.empty());
+        EXPECT_GT(f.line, 0);
+    }
+}
+
+TEST_P(LintFixture, GoodFixtureIsClean)
+{
+    const RuleCase &rc = GetParam();
+    LintResult result = lintFixture(rc.good);
+    EXPECT_TRUE(result.findings.empty())
+        << rc.good << " should lint clean but got:\n"
+        << describe(result.findings);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixture,
+    ::testing::Values(RuleCase{"D1", "d1_bad.cc", "d1_good.cc"},
+                      RuleCase{"D2", "d2_bad.cc", "d2_good.cc"},
+                      RuleCase{"D3", "d3_bad.cc", "d3_good.cc"},
+                      RuleCase{"D4", "d4_bad.cc", "d4_good.cc"},
+                      RuleCase{"D5", "d5_bad.cc", "d5_good.cc"}),
+    [](const ::testing::TestParamInfo<RuleCase> &info) {
+        return std::string(info.param.rule);
+    });
+
+// --- Specific rule behaviours -----------------------------------------
+
+TEST(LintRules, D1FlagsDeclarationAndIterationSeparately)
+{
+    LintResult result = lintFixture("d1_bad.cc");
+    size_t decls = 0;
+    size_t iters = 0;
+    for (const Finding &f : result.findings) {
+        if (f.message.find("is a pointer-keyed") != std::string::npos)
+            ++decls;
+        if (f.message.find("range-for over") != std::string::npos ||
+            f.message.find("iterator walk over") != std::string::npos)
+            ++iters;
+    }
+    EXPECT_EQ(decls, 2u); // vtimes_ and active_
+    EXPECT_EQ(iters, 2u); // range-for and .begin() walk
+}
+
+TEST(LintRules, D1CrossFileHeaderDeclarationCcIteration)
+{
+    const char *header =
+        "#include <unordered_map>\n"
+        "struct Cg;\n"
+        "struct Gate {\n"
+        "    std::unordered_map<const Cg *, int> "
+        "vt_; // isol-lint: allow(D1): fixture\n"
+        "};\n";
+    const char *impl = "#include \"gate.hh\"\n"
+                       "int Gate_sum(Gate &g) {\n"
+                       "    int s = 0;\n"
+                       "    for (auto &e : g.vt_)\n"
+                       "        s += e.second;\n"
+                       "    return s;\n"
+                       "}\n";
+    LintResult result = isol_lint::lintFiles(
+        {{"src/gate.hh", header}, {"src/gate.cc", impl}});
+    ASSERT_EQ(result.findings.size(), 1u) << describe(result.findings);
+    EXPECT_EQ(result.findings[0].rule, "D1");
+    EXPECT_EQ(result.findings[0].file, "src/gate.cc");
+    EXPECT_EQ(result.findings[0].line, 4);
+    EXPECT_NE(result.findings[0].message.find("src/gate.hh:4"),
+              std::string::npos);
+    ASSERT_EQ(result.suppressed.size(), 1u); // the declaration allow
+}
+
+// A deque member that merely shares its name with a pointer-keyed map in
+// another class must not be blamed for that map's declaration (the
+// qos_max/qos_cost `states_` collision found while dogfooding the tool).
+TEST(LintRules, D1SameNameBenignContainerInOtherFileIsNotFlagged)
+{
+    const char *ptr_header =
+        "#include <unordered_map>\n"
+        "struct Cg;\n"
+        "struct MaxGate {\n"
+        "    std::unordered_map<const Cg *, int> "
+        "states_; // isol-lint: allow(D1): fixture\n"
+        "};\n";
+    const char *deque_impl = "#include <deque>\n"
+                             "struct CostGate {\n"
+                             "    std::deque<int> states_;\n"
+                             "    int sum() {\n"
+                             "        int s = 0;\n"
+                             "        for (int v : states_)\n"
+                             "            s += v;\n"
+                             "        return s;\n"
+                             "    }\n"
+                             "};\n";
+    LintResult result = isol_lint::lintFiles(
+        {{"src/max_gate.hh", ptr_header}, {"src/cost_gate.cc", deque_impl}});
+    EXPECT_TRUE(result.findings.empty()) << describe(result.findings);
+    ASSERT_EQ(result.suppressed.size(), 1u); // the declaration allow
+}
+
+// Ambiguity is scoped: iteration in the *same* file as the pointer-keyed
+// declaration still flags even when the name is also a deque elsewhere.
+TEST(LintRules, D1AmbiguousNameStillFlagsInDeclaringFile)
+{
+    const char *ptr_impl =
+        "#include <unordered_map>\n"
+        "struct Cg;\n"
+        "struct MaxGate {\n"
+        "    std::unordered_map<const Cg *, int> "
+        "states_; // isol-lint: allow(D1): fixture\n"
+        "    int sum() {\n"
+        "        int s = 0;\n"
+        "        for (auto &e : states_)\n"
+        "            s += e.second;\n"
+        "        return s;\n"
+        "    }\n"
+        "};\n";
+    const char *deque_header = "#include <deque>\n"
+                               "struct CostGate {\n"
+                               "    std::deque<int> states_;\n"
+                               "};\n";
+    LintResult result = isol_lint::lintFiles(
+        {{"src/max_gate.cc", ptr_impl}, {"src/cost_gate.hh", deque_header}});
+    ASSERT_EQ(result.findings.size(), 1u) << describe(result.findings);
+    EXPECT_EQ(result.findings[0].rule, "D1");
+    EXPECT_EQ(result.findings[0].file, "src/max_gate.cc");
+    EXPECT_EQ(result.findings[0].line, 7);
+}
+
+TEST(LintRules, D2ExemptsTheRngHeader)
+{
+    const char *content = "#include <random>\n"
+                          "struct Seeder { int s = 0; };\n"
+                          "int ambient() { std::random_device rd; "
+                          "return static_cast<int>(rd()); }\n";
+    LintResult in_rng = isol_lint::lintFiles(
+        {{"src/common/rng.hh", content}});
+    EXPECT_TRUE(in_rng.findings.empty()) << describe(in_rng.findings);
+
+    LintResult elsewhere = isol_lint::lintFiles(
+        {{"src/sim/clock.hh", content}});
+    ASSERT_FALSE(elsewhere.findings.empty());
+    EXPECT_EQ(elsewhere.findings[0].rule, "D2");
+}
+
+TEST(LintRules, D4OnlyAppliesUnderSrc)
+{
+    const char *content = "namespace n {\nint g_count = 0;\n}\n";
+    LintResult in_src =
+        isol_lint::lintFiles({{"src/sim/state.cc", content}});
+    ASSERT_EQ(in_src.findings.size(), 1u) << describe(in_src.findings);
+    EXPECT_EQ(in_src.findings[0].rule, "D4");
+    EXPECT_EQ(in_src.findings[0].line, 2);
+
+    LintResult in_bench =
+        isol_lint::lintFiles({{"bench/state.cc", content}});
+    EXPECT_TRUE(in_bench.findings.empty())
+        << describe(in_bench.findings);
+}
+
+TEST(LintRules, SuppressionFixtureIsCleanButRecorded)
+{
+    LintResult result = lintFixture("suppressed.cc");
+    EXPECT_TRUE(result.findings.empty()) << describe(result.findings);
+    EXPECT_GE(result.suppressed.size(), 2u);
+    for (const Finding &f : result.suppressed)
+        EXPECT_EQ(f.rule, "D2");
+}
+
+TEST(LintRules, SuppressionIsRuleSpecific)
+{
+    const char *content =
+        "namespace n {\n"
+        "// isol-lint: allow(D2): wrong rule for this hazard\n"
+        "int g_count = 0;\n"
+        "}\n";
+    LintResult result =
+        isol_lint::lintFiles({{"src/sim/state.cc", content}});
+    ASSERT_EQ(result.findings.size(), 1u) << describe(result.findings);
+    EXPECT_EQ(result.findings[0].rule, "D4");
+}
+
+TEST(LintRules, RuleTableListsAllFiveRules)
+{
+    std::set<std::string> ids;
+    for (const isol_lint::RuleInfo &r : isol_lint::ruleTable())
+        ids.insert(r.id);
+    EXPECT_EQ(ids, (std::set<std::string>{"D1", "D2", "D3", "D4", "D5"}));
+}
+
+TEST(LintRules, FindingsAreSortedAndDeterministic)
+{
+    std::vector<FileInput> inputs = {
+        {"src/b.cc", "namespace n { int g_b = 0; int g_a = 0; }\n"},
+        {"src/a.cc", "namespace n { int g_c = 0; }\n"},
+    };
+    LintResult first = isol_lint::lintFiles(inputs);
+    LintResult second = isol_lint::lintFiles(inputs);
+    ASSERT_EQ(first.findings.size(), 3u);
+    EXPECT_EQ(first.findings[0].file, "src/a.cc");
+    for (size_t i = 0; i < first.findings.size(); ++i) {
+        EXPECT_EQ(first.findings[i].message,
+                  second.findings[i].message);
+    }
+}
+
+} // namespace

@@ -1,0 +1,26 @@
+// isol-lint fixture: D1 known-bad — iterating pointer-keyed unordered
+// containers (the PR 2 Bfq/IoCostGate/IoLatencyGate bug class).
+#include <unordered_map>
+#include <unordered_set>
+
+struct Cgroup
+{
+    int weight;
+};
+
+struct Gate
+{
+    std::unordered_map<const Cgroup *, int> vtimes_;
+    std::unordered_set<Cgroup *> active_;
+
+    int
+    sumWeights()
+    {
+        int sum = 0;
+        for (auto &entry : vtimes_) // address-order visit
+            sum += entry.second;
+        for (auto it = active_.begin(); it != active_.end(); ++it)
+            ++sum;
+        return sum;
+    }
+};

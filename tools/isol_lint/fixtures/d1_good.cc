@@ -1,0 +1,31 @@
+// isol-lint fixture: D1 known-good — pointer-keyed map kept as a
+// documented lookup-only index; iteration goes through a creation-order
+// deque, and value-keyed unordered maps may be iterated freely.
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+struct Cgroup
+{
+    int weight;
+};
+
+struct Gate
+{
+    // isol-lint: allow(D1): lookup-only index; iteration uses states_
+    std::unordered_map<const Cgroup *, size_t> state_index_;
+    std::deque<int> states_;
+    std::unordered_map<uint64_t, int> by_id_;
+
+    int
+    sum(const Cgroup *cg)
+    {
+        int total = 0;
+        for (int v : states_) // creation-order deque
+            total += v;
+        for (auto &entry : by_id_) // value keys, not addresses
+            total += entry.second;
+        auto it = state_index_.find(cg); // lookup is fine
+        return it != state_index_.end() ? total + 1 : total;
+    }
+};

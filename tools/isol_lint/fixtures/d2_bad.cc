@@ -1,0 +1,16 @@
+// isol-lint fixture: D2 known-bad — wall clock and ambient entropy in
+// simulation code.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double
+wallSeconds()
+{
+    auto now = std::chrono::steady_clock::now(); // wall clock
+    std::srand(42); // ambient entropy seed
+    int r = std::rand(); // libc generator
+    std::random_device rd; // hardware entropy
+    (void)now;
+    return static_cast<double>(r) + static_cast<double>(rd());
+}

@@ -1,0 +1,29 @@
+// isol-lint fixture: D2 known-good — seeded generator state and member
+// functions that merely share a libc name.
+#include <cstdint>
+
+struct Rng
+{
+    uint64_t s;
+
+    uint64_t
+    next()
+    {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return s;
+    }
+};
+
+struct Timer
+{
+    uint64_t ticks = 0;
+
+    // A member named time() is not libc time().
+    uint64_t time() const { return ticks; }
+};
+
+uint64_t
+draw(Rng &rng, const Timer &timer)
+{
+    return rng.next() + timer.time();
+}

@@ -1,0 +1,19 @@
+// isol-lint fixture: D3 known-bad — comparator ordering by raw pointer
+// value, so sorted order depends on heap layout.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+struct Req
+{
+    int id;
+};
+
+void
+sortByAddress(std::vector<const Req *> &reqs)
+{
+    std::sort(reqs.begin(), reqs.end(),
+              [](const Req *a, const Req *b) { return a < b; });
+}
+
+std::set<Req *, std::less<Req *>> by_address_set();

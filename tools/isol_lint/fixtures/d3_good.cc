@@ -1,0 +1,22 @@
+// isol-lint fixture: D3 known-good — comparator ordering by a stable
+// field; pointer equality (identity) is fine too.
+#include <algorithm>
+#include <vector>
+
+struct Req
+{
+    int id;
+};
+
+void
+sortById(std::vector<const Req *> &reqs)
+{
+    std::sort(reqs.begin(), reqs.end(),
+              [](const Req *a, const Req *b) { return a->id < b->id; });
+}
+
+bool
+sameRequest(const Req *a, const Req *b)
+{
+    return a == b; // identity comparison carries no ordering
+}

@@ -1,0 +1,22 @@
+// isol-lint fixture: D4 known-bad — mutable namespace-scope and static
+// state, which sweep workers would share across scenario runs.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace sim
+{
+
+int g_call_count = 0; // plain mutable global
+static std::vector<int> g_cache; // static global collection
+std::atomic<uint32_t> g_jobs{0}; // atomics are still shared state
+thread_local bool t_in_worker = false; // per-thread, not per-run
+
+int
+bump()
+{
+    static int counter = 0; // function-local static survives runs
+    return ++counter + g_call_count;
+}
+
+} // namespace sim

@@ -1,0 +1,25 @@
+// isol-lint fixture: D4 known-good — constants at namespace scope and
+// per-instance state owned by the scenario.
+#include <cstdint>
+
+namespace sim
+{
+
+constexpr uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+const int kTableSize = 64;
+static constexpr double kScale = 1.5;
+
+struct Counters
+{
+    uint64_t events = 0; // instance state: one per scenario
+};
+
+uint64_t
+bump(Counters &c)
+{
+    uint64_t local = c.events + kSeedMix % kTableSize;
+    c.events = local;
+    return local;
+}
+
+} // namespace sim

@@ -1,0 +1,18 @@
+// isol-lint fixture: D5 known-bad — floating-point accumulation into a
+// captured variable from inside a parallel region; the summation order
+// (and thus the rounded result) depends on worker scheduling.
+#include <cstddef>
+#include <vector>
+
+double
+sweepSum(const std::vector<double> &samples)
+{
+    double total = 0.0;
+    // isol: parallel
+    auto worker = [&](size_t i) {
+        total += samples[i]; // cross-worker accumulation
+    };
+    for (size_t i = 0; i < samples.size(); ++i)
+        worker(i);
+    return total;
+}

@@ -1,0 +1,24 @@
+// isol-lint fixture: D5 known-good — workers accumulate into
+// region-local variables and write per-index slots; the fold over
+// slots happens after the parallel section, in index order.
+#include <cstddef>
+#include <vector>
+
+double
+sweepSum(const std::vector<double> &samples)
+{
+    std::vector<double> partial(samples.size(), 0.0);
+    // isol: parallel
+    auto worker = [&](size_t i) {
+        double local = 0.0; // region-local accumulator
+        local += samples[i];
+        partial[i] = local; // slot write keyed by index
+    };
+    for (size_t i = 0; i < samples.size(); ++i)
+        worker(i);
+
+    double total = 0.0;
+    for (double p : partial)
+        total += p; // index-ordered fold, outside the region
+    return total;
+}

@@ -1,0 +1,24 @@
+// isol-lint fixture: suppression syntax — both stand-alone (covers the
+// next line) and trailing (covers its own line) allow() comments.
+#include <chrono>
+#include <cstdlib>
+
+namespace profiling
+{
+
+double
+nowMs()
+{
+    // isol-lint: allow(D2): profiling clock, stderr-only, never sim state
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double, std::milli>(t).count();
+}
+
+int
+seedLegacy()
+{
+    std::srand(7); // isol-lint: allow(D2): exercising same-line allows
+    return 0;
+}
+
+} // namespace profiling

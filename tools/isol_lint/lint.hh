@@ -1,0 +1,115 @@
+/**
+ * @file
+ * isol-lint: determinism and simulation-hygiene static analysis.
+ *
+ * A dependency-free (no libclang) token-level checker for the hazard
+ * classes that break byte-identical replay of the simulator:
+ *
+ *   D1  pointer-keyed unordered containers: iterating one visits
+ *       elements in heap-address order, which differs run to run.
+ *       Declarations are flagged too so lookup-only use is an explicit,
+ *       documented decision (`allow(D1)` on the declaration).
+ *   D2  wall-clock / ambient-entropy calls outside src/common/rng.hh
+ *       (std::chrono clocks, time(), rand(), std::random_device, ...).
+ *   D3  pointer-value ordering comparisons inside comparators
+ *       (sort keys built from addresses reorder across runs).
+ *   D4  mutable namespace-scope or static state in src/ (breaks the
+ *       shared-nothing contract of the parallel sweep workers).
+ *   D5  float/double accumulation into state declared outside a
+ *       `// isol: parallel` region (summation order then depends on
+ *       worker scheduling; fold per-index partials afterwards).
+ *
+ * Findings are suppressed with `// isol-lint: allow(D2): reason` on the
+ * offending line, or on a line of its own above it (a stand-alone
+ * suppression covers everything through the next line containing code,
+ * so multi-line justifications work).
+ *
+ * The checker is heuristic by design: it tokenizes real C++ (comments,
+ * strings, raw strings, preprocessor lines) but does not build an AST,
+ * so rules favour the concrete idioms used in this repository over
+ * full-language generality. Every rule ships with known-bad and
+ * known-good fixtures under tools/isol_lint/fixtures/.
+ */
+
+#ifndef ISOL_LINT_LINT_HH
+#define ISOL_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace isol_lint
+{
+
+/** Token classes produced by the lexer. */
+enum class TokKind
+{
+    kIdent,
+    kNumber,
+    kString,
+    kChar,
+    kPunct,
+    kComment,
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0; //!< 1-based line of the token's first character
+    size_t offset = 0; //!< byte offset into the source
+};
+
+/**
+ * Tokenize C++ source. Comments are kept (rules D5 and suppression
+ * handling read them); preprocessor lines are skipped entirely.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+/** One rule violation (or suppressed would-be violation). */
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string rule; //!< "D1".."D5"
+    std::string message;
+    std::string hint; //!< fix-it guidance
+};
+
+/** A file to lint: `path` drives rule scoping, `content` is the text. */
+struct FileInput
+{
+    std::string path;
+    std::string content;
+};
+
+struct LintResult
+{
+    std::vector<Finding> findings; //!< unsuppressed, sorted (file, line)
+    std::vector<Finding> suppressed; //!< silenced by allow() comments
+};
+
+/**
+ * Lint a set of files together. D1 is cross-file: container declarations
+ * collected anywhere in the set are matched against iteration in every
+ * file (headers declare, .cc files iterate).
+ *
+ * Path scoping: D4 only fires for paths containing a `src/` component;
+ * D2 exempts paths ending in `common/rng.hh`; everything else applies
+ * to all inputs.
+ */
+LintResult lintFiles(const std::vector<FileInput> &files);
+
+/** Static description of one rule (--list-rules, docs). */
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+    const char *hint;
+};
+
+/** All rules, in id order. */
+const std::vector<RuleInfo> &ruleTable();
+
+} // namespace isol_lint
+
+#endif // ISOL_LINT_LINT_HH

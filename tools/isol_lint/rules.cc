@@ -1,0 +1,883 @@
+/**
+ * @file
+ * Rule engine for isol-lint: D1..D5 over the token stream.
+ *
+ * Rules work on a comment-free token view per file; suppressions and
+ * `// isol: parallel` region markers are extracted from the comment
+ * tokens first. D1 runs in two passes across the whole file set so a
+ * container declared in a header is matched against iteration in any
+ * .cc file.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace isol_lint
+{
+
+namespace
+{
+
+// --- Rule metadata ----------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"D1",
+     "pointer-keyed unordered container (iteration order = heap-address "
+     "order)",
+     "iterate an index-mapped creation-order deque instead (see "
+     "src/blk/bfq.cc); keep pointer-keyed maps lookup-only and document "
+     "with allow(D1)"},
+    {"D2",
+     "wall-clock or ambient-entropy source outside src/common/rng.hh",
+     "derive all randomness from the scenario's seeded isol::Rng and all "
+     "time from Simulator::now(); profiling clocks go through "
+     "sweep::monotonicMs()"},
+    {"D3",
+     "pointer-value ordering comparison in a comparator",
+     "compare a stable field (id, creation index) instead of the "
+     "pointers themselves"},
+    {"D4",
+     "mutable namespace-scope or static state in src/",
+     "make it const/constexpr or move it into per-run state owned by "
+     "the Scenario; sweep-engine infrastructure may allow(D4) with "
+     "justification"},
+    {"D5",
+     "float accumulation into pre-region state inside a parallel region",
+     "collect per-index partial results and fold them after the "
+     "parallel section, in index order (see runFairness in "
+     "src/isolbench/d2_fairness.cc)"},
+};
+
+const RuleInfo &
+rule(const char *id)
+{
+    for (const RuleInfo &r : kRules) {
+        if (std::string(r.id) == id)
+            return r;
+    }
+    return kRules.front();
+}
+
+// --- Per-file pre-processing ------------------------------------------
+
+/** Inclusive line range suppressing one rule (or "*" for all). */
+struct Suppression
+{
+    int first_line;
+    int last_line;
+    std::string rule; //!< rule id, or "*"
+};
+
+/** Token range (code-token indexes) of one `// isol: parallel` region. */
+struct Region
+{
+    size_t begin; //!< index of the opening `{`
+    size_t end; //!< index of the matching `}`
+};
+
+struct FileView
+{
+    std::string path;
+    std::vector<Token> code; //!< comment-free tokens
+    std::vector<Suppression> suppressions;
+    std::vector<Region> regions;
+};
+
+bool
+pathHasSrcComponent(const std::string &path)
+{
+    return path.rfind("src/", 0) == 0 ||
+           path.find("/src/") != std::string::npos;
+}
+
+bool
+pathIsRngHeader(const std::string &path)
+{
+    const std::string suffix = "common/rng.hh";
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** Parse `isol-lint: allow(D1, D2)` occurrences out of a comment. */
+void
+parseAllows(const std::string &text, int first_line, int last_line,
+            std::vector<Suppression> &out)
+{
+    size_t pos = text.find("isol-lint:");
+    while (pos != std::string::npos) {
+        size_t open = text.find("allow(", pos);
+        if (open == std::string::npos)
+            return;
+        size_t close = text.find(')', open);
+        if (close == std::string::npos)
+            return;
+        std::string list = text.substr(open + 6, close - open - 6);
+        std::string id;
+        auto flush = [&] {
+            if (!id.empty())
+                out.push_back({first_line, last_line, id});
+            id.clear();
+        };
+        for (char c : list) {
+            if (c == ',' || c == ' ' || c == '\t')
+                flush();
+            else
+                id += c;
+        }
+        flush();
+        pos = text.find("isol-lint:", close);
+    }
+}
+
+FileView
+buildView(const FileInput &input)
+{
+    FileView view;
+    view.path = input.path;
+    std::vector<Token> all = tokenize(input.content);
+
+    // Lines that contain at least one code (non-comment) token: a
+    // suppression comment alone on its line extends to the next line.
+    std::set<int> code_lines;
+    for (const Token &t : all) {
+        if (t.kind != TokKind::kComment)
+            code_lines.insert(t.line);
+    }
+
+    std::vector<size_t> marker_offsets;
+    for (const Token &t : all) {
+        if (t.kind != TokKind::kComment) {
+            view.code.push_back(t);
+            continue;
+        }
+        int end_line = t.line + static_cast<int>(std::count(
+                                    t.text.begin(), t.text.end(), '\n'));
+        std::vector<Suppression> allows;
+        parseAllows(t.text, t.line, end_line, allows);
+        for (Suppression &s : allows) {
+            if (code_lines.count(t.line) == 0) {
+                // Stand-alone comment: cover everything up to and
+                // including the next line that has code, so wrapped
+                // justification text stays legal.
+                auto next = code_lines.upper_bound(end_line);
+                s.last_line = next != code_lines.end() ? *next
+                                                       : end_line + 1;
+            }
+            view.suppressions.push_back(s);
+        }
+        if (t.text.find("isol: parallel") != std::string::npos ||
+            t.text.find("isol:parallel") != std::string::npos)
+            marker_offsets.push_back(t.offset);
+    }
+
+    // Resolve each marker to the brace block opened by the next `{`
+    // after the marker (annotate the worker lambda, marker above or on
+    // the line before its opening brace).
+    for (size_t marker : marker_offsets) {
+        size_t i = 0;
+        while (i < view.code.size() &&
+               !(view.code[i].offset > marker && view.code[i].text == "{"))
+            ++i;
+        if (i >= view.code.size())
+            continue;
+        int depth = 0;
+        size_t j = i;
+        for (; j < view.code.size(); ++j) {
+            if (view.code[j].text == "{")
+                ++depth;
+            else if (view.code[j].text == "}" && --depth == 0)
+                break;
+        }
+        view.regions.push_back({i, std::min(j, view.code.size() - 1)});
+    }
+    return view;
+}
+
+bool
+isSuppressed(const FileView &view, int line, const std::string &rule_id)
+{
+    for (const Suppression &s : view.suppressions) {
+        if (line >= s.first_line && line <= s.last_line &&
+            (s.rule == rule_id || s.rule == "*"))
+            return true;
+    }
+    return false;
+}
+
+// --- Shared token helpers ---------------------------------------------
+
+bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/**
+ * Scan a template argument list starting at the `<` at index `open`.
+ * Returns the index one past the closing `>` and reports whether a `*`
+ * occurs at top level before the first top-level comma (`key_ptr`) or
+ * anywhere at top level (`any_ptr`).
+ */
+size_t
+scanTemplateArgs(const std::vector<Token> &code, size_t open,
+                 bool *key_ptr, bool *any_ptr)
+{
+    int depth = 0;
+    bool past_comma = false;
+    size_t i = open;
+    for (; i < code.size(); ++i) {
+        const std::string &t = code[i].text;
+        if (t == "<") {
+            ++depth;
+        } else if (t == ">") {
+            if (--depth == 0) {
+                ++i;
+                break;
+            }
+        } else if (t == ">>") {
+            depth -= 2;
+            if (depth <= 0) {
+                ++i;
+                break;
+            }
+        } else if (depth == 1 && t == ",") {
+            past_comma = true;
+        } else if (depth == 1 && t == "*") {
+            if (any_ptr != nullptr)
+                *any_ptr = true;
+            if (!past_comma && key_ptr != nullptr)
+                *key_ptr = true;
+        }
+    }
+    return i;
+}
+
+/** Index of the matching closer for the opener at `open`, or npos. */
+size_t
+matchForward(const std::vector<Token> &code, size_t open,
+             const char *opener, const char *closer)
+{
+    int depth = 0;
+    for (size_t i = open; i < code.size(); ++i) {
+        if (code[i].text == opener)
+            ++depth;
+        else if (code[i].text == closer && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+void
+emit(std::vector<Finding> &findings, std::vector<Finding> &suppressed,
+     const FileView &view, int line, const char *rule_id,
+     std::string message)
+{
+    Finding f;
+    f.file = view.path;
+    f.line = line;
+    f.rule = rule_id;
+    f.message = std::move(message);
+    f.hint = rule(rule_id).hint;
+    if (isSuppressed(view, line, rule_id))
+        suppressed.push_back(std::move(f));
+    else
+        findings.push_back(std::move(f));
+}
+
+// --- D1: pointer-keyed unordered containers ---------------------------
+
+struct ContainerDecl
+{
+    std::string name;
+    std::string file;
+    int line;
+};
+
+/** Pass A: collect pointer-keyed unordered_{map,set} variable names. */
+void
+collectPointerKeyedContainers(const FileView &view,
+                              std::vector<ContainerDecl> &decls,
+                              std::vector<Finding> &findings,
+                              std::vector<Finding> &suppressed)
+{
+    const std::vector<Token> &code = view.code;
+    for (size_t i = 0; i + 1 < code.size(); ++i) {
+        bool is_map = isIdent(code[i], "unordered_map");
+        bool is_set = isIdent(code[i], "unordered_set") ||
+                      isIdent(code[i], "unordered_multiset");
+        bool is_multimap = isIdent(code[i], "unordered_multimap");
+        if (!is_map && !is_set && !is_multimap)
+            continue;
+        if (code[i + 1].text != "<")
+            continue;
+
+        bool key_ptr = false;
+        bool any_ptr = false;
+        size_t after = scanTemplateArgs(code, i + 1, &key_ptr, &any_ptr);
+        bool ptr_key = (is_map || is_multimap) ? key_ptr : any_ptr;
+        if (!ptr_key || after >= code.size())
+            continue;
+        if (code[after].kind != TokKind::kIdent)
+            continue; // temporary / return type / cast — no variable name
+        if (after + 1 < code.size() && code[after + 1].text == "(")
+            continue; // function declaration returning the container
+
+        decls.push_back({code[after].text, view.path, code[after].line});
+        emit(findings, suppressed, view, code[i].line, "D1",
+             "'" + code[after].text +
+                 "' is a pointer-keyed unordered container; its "
+                 "iteration order is heap-address order and differs "
+                 "across runs");
+    }
+}
+
+/**
+ * Pass A': collect names that are *also* declared as a deterministic
+ * container somewhere in the set. A name with both a pointer-keyed
+ * unordered declaration and a benign one is ambiguous, and iteration
+ * in a file other than the unordered declaration's is not flagged —
+ * otherwise a `deque<T> states_` in one class would be blamed for an
+ * `unordered_map<K*,V> states_` in another.
+ */
+void
+collectBenignContainerNames(const FileView &view,
+                            std::set<std::string> &benign)
+{
+    static const std::set<std::string> kOrderedContainers = {
+        "vector", "deque", "list", "forward_list", "array",
+        "map", "set", "multimap", "multiset", "span"};
+    const std::vector<Token> &code = view.code;
+    for (size_t i = 0; i + 1 < code.size(); ++i) {
+        if (code[i].kind != TokKind::kIdent ||
+            kOrderedContainers.count(code[i].text) == 0)
+            continue;
+        if (code[i + 1].text != "<")
+            continue;
+        size_t after = scanTemplateArgs(code, i + 1, nullptr, nullptr);
+        if (after >= code.size() || code[after].kind != TokKind::kIdent)
+            continue;
+        if (after + 1 < code.size() && code[after + 1].text == "(")
+            continue;
+        benign.insert(code[after].text);
+    }
+}
+
+/** Pass B: flag iteration over any registered container name. */
+void
+checkD1Iteration(const FileView &view,
+                 const std::map<std::string, ContainerDecl> &by_name,
+                 const std::set<std::string> &benign,
+                 std::vector<Finding> &findings,
+                 std::vector<Finding> &suppressed)
+{
+    auto ambiguous = [&](const ContainerDecl &d, const std::string &name) {
+        return d.file != view.path && benign.count(name) != 0;
+    };
+    const std::vector<Token> &code = view.code;
+    for (size_t i = 0; i < code.size(); ++i) {
+        // Range-for: `for (decl : name)` where the range expression is a
+        // plain (possibly member-qualified) registered name.
+        if (isIdent(code[i], "for") && i + 1 < code.size() &&
+            code[i + 1].text == "(") {
+            size_t close = matchForward(code, i + 1, "(", ")");
+            if (close == std::string::npos)
+                continue;
+            size_t colon = std::string::npos;
+            int depth = 0;
+            for (size_t k = i + 1; k < close; ++k) {
+                if (code[k].text == "(" || code[k].text == "[")
+                    ++depth;
+                else if (code[k].text == ")" || code[k].text == "]")
+                    --depth;
+                else if (depth == 1 && code[k].text == ":" &&
+                         k > i + 1 && code[k - 1].text != ":")
+                    colon = k;
+            }
+            if (colon == std::string::npos)
+                continue;
+            bool has_call = false;
+            std::string last_ident;
+            for (size_t k = colon + 1; k < close; ++k) {
+                if (code[k].text == "(")
+                    has_call = true;
+                if (code[k].kind == TokKind::kIdent)
+                    last_ident = code[k].text;
+            }
+            auto it = by_name.find(last_ident);
+            if (!has_call && it != by_name.end() &&
+                !ambiguous(it->second, last_ident)) {
+                emit(findings, suppressed, view, code[i].line, "D1",
+                     "range-for over pointer-keyed unordered container '" +
+                         last_ident + "' (declared at " + it->second.file +
+                         ":" + std::to_string(it->second.line) +
+                         ") visits elements in address order");
+            }
+            continue;
+        }
+        // Iterator loop: `name.begin()` / `name.cbegin()`.
+        if (code[i].kind == TokKind::kIdent && i + 2 < code.size() &&
+            code[i + 1].text == "." &&
+            (isIdent(code[i + 2], "begin") ||
+             isIdent(code[i + 2], "cbegin"))) {
+            auto it = by_name.find(code[i].text);
+            if (it != by_name.end() &&
+                !ambiguous(it->second, code[i].text)) {
+                emit(findings, suppressed, view, code[i].line, "D1",
+                     "iterator walk over pointer-keyed unordered "
+                     "container '" +
+                         code[i].text + "' (declared at " +
+                         it->second.file + ":" +
+                         std::to_string(it->second.line) +
+                         ") visits elements in address order");
+            }
+        }
+    }
+}
+
+// --- D2: wall clock and ambient entropy -------------------------------
+
+void
+checkD2(const FileView &view, std::vector<Finding> &findings,
+        std::vector<Finding> &suppressed)
+{
+    if (pathIsRngHeader(view.path))
+        return;
+    const std::vector<Token> &code = view.code;
+    static const std::set<std::string> kClockTypes = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "random_device"};
+    static const std::set<std::string> kEntropyCalls = {
+        "time", "clock", "rand", "srand", "gettimeofday", "timespec_get",
+        "getentropy", "clock_gettime"};
+
+    for (size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code[i];
+        if (t.kind != TokKind::kIdent)
+            continue;
+        if (kClockTypes.count(t.text) != 0) {
+            emit(findings, suppressed, view, t.line, "D2",
+                 "'" + t.text +
+                     "' reads ambient time/entropy; simulation state "
+                     "must come from Simulator::now() or the seeded Rng");
+            continue;
+        }
+        if (kEntropyCalls.count(t.text) != 0 && i + 1 < code.size() &&
+            code[i + 1].text == "(") {
+            if (i > 0) {
+                const std::string &prev = code[i - 1].text;
+                if (prev == "." || prev == "->")
+                    continue; // member call on some object, not libc
+                if (prev == "::" &&
+                    !(i >= 2 && isIdent(code[i - 2], "std")))
+                    continue; // qualified call into project code
+                // A type name (or declarator punctuation) before the
+                // identifier makes this a declaration, not a call.
+                static const std::set<std::string> kCallContexts = {
+                    "return", "co_return", "case", "else", "do"};
+                if (code[i - 1].kind == TokKind::kIdent &&
+                    kCallContexts.count(prev) == 0 && prev != "std")
+                    continue;
+                if (prev == "*" || prev == "&" || prev == ">")
+                    continue; // `int *time(...)`-style declarator
+            }
+            emit(findings, suppressed, view, t.line, "D2",
+                 "call to '" + t.text +
+                     "()' injects wall-clock/entropy into the run");
+        }
+    }
+}
+
+// --- D3: pointer comparisons in comparators ---------------------------
+
+void
+checkD3(const FileView &view, std::vector<Finding> &findings,
+        std::vector<Finding> &suppressed)
+{
+    const std::vector<Token> &code = view.code;
+    static const std::set<std::string> kCmp = {"<", ">", "<=", ">="};
+
+    for (size_t i = 0; i < code.size(); ++i) {
+        // std::less<T *> — ordering functor over raw pointers.
+        if (isIdent(code[i], "less") && i + 1 < code.size() &&
+            code[i + 1].text == "<") {
+            bool any_ptr = false;
+            scanTemplateArgs(code, i + 1, nullptr, &any_ptr);
+            if (any_ptr) {
+                emit(findings, suppressed, view, code[i].line, "D3",
+                     "std::less over a pointer type orders by address");
+            }
+            continue;
+        }
+
+        // A parameter list directly followed by `{` — function or
+        // lambda body. Collect pointer-typed parameter names, then flag
+        // bare `p OP q` comparisons between them inside the body.
+        if (code[i].text != "(")
+            continue;
+        size_t close = matchForward(code, i, "(", ")");
+        if (close == std::string::npos || close + 1 >= code.size())
+            continue;
+        if (code[close + 1].text != "{")
+            continue;
+
+        // Split the parameter list on top-level commas; a chunk with a
+        // `*` declares a pointer parameter whose name is its last ident.
+        std::set<std::string> ptr_params;
+        {
+            int depth = 0;
+            bool has_ptr = false;
+            std::string last_ident;
+            auto flush = [&] {
+                if (has_ptr && !last_ident.empty())
+                    ptr_params.insert(last_ident);
+                has_ptr = false;
+                last_ident.clear();
+            };
+            for (size_t k = i + 1; k < close; ++k) {
+                const std::string &t = code[k].text;
+                if (t == "(" || t == "<" || t == "[") {
+                    ++depth;
+                } else if (t == ")" || t == ">" || t == "]") {
+                    --depth;
+                } else if (depth == 0 && t == ",") {
+                    flush();
+                    continue;
+                }
+                if (depth == 0 && t == "*")
+                    has_ptr = true;
+                if (depth == 0 && code[k].kind == TokKind::kIdent)
+                    last_ident = code[k].text;
+            }
+            flush();
+        }
+        if (ptr_params.empty())
+            continue;
+
+        size_t body_end = matchForward(code, close + 1, "{", "}");
+        if (body_end == std::string::npos)
+            continue;
+        for (size_t k = close + 2; k + 1 < body_end; ++k) {
+            if (kCmp.count(code[k].text) == 0)
+                continue;
+            const Token &lhs = code[k - 1];
+            const Token &rhs = code[k + 1];
+            if (lhs.kind != TokKind::kIdent ||
+                rhs.kind != TokKind::kIdent)
+                continue;
+            if (ptr_params.count(lhs.text) == 0 ||
+                ptr_params.count(rhs.text) == 0)
+                continue;
+            // Bare pointers only: not `a->x < b->x` or `f(a) < g(b)`.
+            if (k >= 2) {
+                const std::string &before = code[k - 2].text;
+                if (before == "->" || before == "." || before == "::")
+                    continue;
+            }
+            if (k + 2 < body_end) {
+                const std::string &after = code[k + 2].text;
+                if (after == "->" || after == "." || after == "::" ||
+                    after == "(" || after == "[")
+                    continue;
+            }
+            emit(findings, suppressed, view, code[k].line, "D3",
+                 "comparator orders '" + lhs.text + "' and '" + rhs.text +
+                     "' by pointer value");
+        }
+    }
+}
+
+// --- D4: mutable global / static state in src/ ------------------------
+
+void
+checkD4(const FileView &view, std::vector<Finding> &findings,
+        std::vector<Finding> &suppressed)
+{
+    if (!pathHasSrcComponent(view.path))
+        return;
+    const std::vector<Token> &code = view.code;
+
+    enum class ScopeKind { kNamespace, kClass, kFunction };
+    std::vector<ScopeKind> scopes;
+    static const std::set<std::string> kScopeClassKw = {"class", "struct",
+                                                       "union", "enum"};
+    static const std::set<std::string> kSkipLeads = {
+        "using", "typedef", "template", "friend", "extern",
+        "static_assert", "namespace", "class", "struct", "enum", "union",
+        "concept", "public", "private", "protected", "return", "if",
+        "for", "while", "switch", "do", "goto", "case", "default",
+        "break", "continue", "throw", "delete"};
+
+    auto atNamespaceScope = [&] {
+        for (ScopeKind s : scopes) {
+            if (s != ScopeKind::kNamespace)
+                return false;
+        }
+        return true;
+    };
+
+    auto evalStatement = [&](size_t begin, size_t end) {
+        if (begin >= end)
+            return;
+        const Token &first = code[begin];
+        if (first.kind != TokKind::kIdent &&
+            !(first.kind == TokKind::kPunct && first.text == "*"))
+            return;
+        if (kSkipLeads.count(first.text) != 0)
+            return;
+
+        bool has_static = false;
+        bool has_thread_local = false;
+        bool has_const = false;
+        bool has_operator = false;
+        size_t first_assign = end;
+        for (size_t k = begin; k < end; ++k) {
+            const std::string &t = code[k].text;
+            if (t == "static")
+                has_static = true;
+            else if (t == "thread_local")
+                has_thread_local = true;
+            else if (t == "const" || t == "constexpr" || t == "consteval")
+                has_const = true;
+            else if (t == "operator")
+                has_operator = true;
+            else if (t == "=" && first_assign == end)
+                first_assign = k;
+        }
+        if (has_const || has_operator)
+            return;
+        for (size_t k = begin; k < first_assign; ++k) {
+            if (code[k].text == "(")
+                return; // function declaration / definition
+        }
+
+        ScopeKind scope = scopes.empty() ? ScopeKind::kNamespace
+                                         : scopes.back();
+        bool namespace_scope =
+            scopes.empty() ||
+            (scope == ScopeKind::kNamespace && atNamespaceScope());
+        bool flagged = false;
+        if (namespace_scope)
+            flagged = true; // any mutable namespace-scope variable
+        else if (has_static || has_thread_local)
+            flagged = true; // static member / function-local static
+        if (!flagged)
+            return;
+
+        // Declared name: identifier right before `=`, `{`, `[` or `;`.
+        std::string name;
+        for (size_t k = begin; k < end; ++k) {
+            const std::string &t = code[k].text;
+            if ((t == "=" || t == "{" || t == "[" || t == ";") && k > begin &&
+                code[k - 1].kind == TokKind::kIdent) {
+                name = code[k - 1].text;
+                break;
+            }
+        }
+        if (name.empty()) {
+            if (code[end - 1].kind != TokKind::kIdent)
+                return;
+            name = code[end - 1].text;
+        }
+        const char *what = namespace_scope
+                               ? "mutable namespace-scope state"
+                               : (has_thread_local
+                                      ? "mutable thread_local state"
+                                      : "mutable static state");
+        emit(findings, suppressed, view, first.line, "D4",
+             std::string(what) + " '" + name +
+                 "' breaks shared-nothing sweep workers");
+    };
+
+    size_t stmt_start = 0;
+    for (size_t i = 0; i < code.size(); ++i) {
+        const std::string &t = code[i].text;
+        if (t == "{") {
+            // Classify the block from the statement tokens before it.
+            bool kw_namespace = false;
+            bool kw_class = false;
+            bool has_paren = false;
+            for (size_t k = stmt_start; k < i; ++k) {
+                if (isIdent(code[k], "namespace"))
+                    kw_namespace = true;
+                else if (code[k].kind == TokKind::kIdent &&
+                         kScopeClassKw.count(code[k].text) != 0)
+                    kw_class = true;
+                else if (code[k].text == "(" || code[k].text == ")")
+                    has_paren = true;
+            }
+            const std::string prev =
+                i > stmt_start ? code[i - 1].text : std::string();
+            if (kw_namespace) {
+                scopes.push_back(ScopeKind::kNamespace);
+                stmt_start = i + 1;
+            } else if (kw_class && !has_paren) {
+                scopes.push_back(ScopeKind::kClass);
+                stmt_start = i + 1;
+            } else if (has_paren) {
+                scopes.push_back(ScopeKind::kFunction);
+                stmt_start = i + 1;
+            } else if (!prev.empty() &&
+                       (code[i - 1].kind == TokKind::kIdent || prev == "=" ||
+                        prev == "," || prev == ">")) {
+                // Brace initializer `Type name{...}`: stay in the
+                // statement, skip to the matching close.
+                size_t close = matchForward(code, i, "{", "}");
+                if (close == std::string::npos)
+                    break;
+                i = close;
+            } else {
+                scopes.push_back(ScopeKind::kFunction);
+                stmt_start = i + 1;
+            }
+        } else if (t == "}") {
+            if (!scopes.empty())
+                scopes.pop_back();
+            stmt_start = i + 1;
+        } else if (t == ";") {
+            evalStatement(stmt_start, i);
+            stmt_start = i + 1;
+        }
+    }
+}
+
+// --- D5: float accumulation inside parallel regions -------------------
+
+void
+checkD5(const FileView &view, std::vector<Finding> &findings,
+        std::vector<Finding> &suppressed)
+{
+    if (view.regions.empty())
+        return;
+    const std::vector<Token> &code = view.code;
+
+    // All float/double variable declarations, by name -> token indexes.
+    std::map<std::string, std::vector<size_t>> fp_decls;
+    for (size_t i = 0; i + 1 < code.size(); ++i) {
+        if (!isIdent(code[i], "double") && !isIdent(code[i], "float"))
+            continue;
+        if (code[i + 1].kind != TokKind::kIdent)
+            continue;
+        if (i + 2 < code.size() && code[i + 2].text == "(")
+            continue; // function returning double
+        fp_decls[code[i + 1].text].push_back(i);
+    }
+    if (fp_decls.empty())
+        return;
+
+    static const std::set<std::string> kAccum = {"+=", "-=", "*=", "/="};
+    for (const Region &region : view.regions) {
+        for (size_t i = region.begin + 1; i < region.end; ++i) {
+            if (kAccum.count(code[i].text) == 0)
+                continue;
+            // Walk back to the root identifier of the left-hand side
+            // (`total`, `this->total`, `acc.sum`, `slots[i].v`, ...).
+            size_t j = i;
+            std::string root;
+            while (j > region.begin) {
+                --j;
+                const std::string &t = code[j].text;
+                if (t == "]" || t == ")") {
+                    const char *opn = t == "]" ? "[" : "(";
+                    int d = 0;
+                    while (j > region.begin) {
+                        if (code[j].text == t)
+                            ++d;
+                        else if (code[j].text == opn && --d == 0)
+                            break;
+                        --j;
+                    }
+                    continue;
+                }
+                if (code[j].kind == TokKind::kIdent) {
+                    root = code[j].text;
+                    if (j > region.begin + 1 &&
+                        (code[j - 1].text == "." ||
+                         code[j - 1].text == "->" ||
+                         code[j - 1].text == "::")) {
+                        --j;
+                        continue;
+                    }
+                    break;
+                }
+                break;
+            }
+            if (root.empty())
+                continue;
+            auto it = fp_decls.find(root);
+            if (it == fp_decls.end())
+                continue;
+            bool declared_before = false;
+            bool declared_inside = false;
+            for (size_t decl : it->second) {
+                if (decl < region.begin)
+                    declared_before = true;
+                else if (decl > region.begin && decl < i)
+                    declared_inside = true;
+            }
+            if (!declared_before || declared_inside)
+                continue; // region-local accumulator is fine
+            emit(findings, suppressed, view, code[i].line, "D5",
+                 "floating-point accumulation into '" + root +
+                     "' declared outside the parallel region: summation "
+                     "order depends on worker scheduling");
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<RuleInfo> &
+ruleTable()
+{
+    return kRules;
+}
+
+LintResult
+lintFiles(const std::vector<FileInput> &files)
+{
+    LintResult result;
+
+    std::vector<FileView> views;
+    views.reserve(files.size());
+    for (const FileInput &f : files)
+        views.push_back(buildView(f));
+
+    // D1 pass A across the whole set; declaration findings emitted here.
+    std::vector<ContainerDecl> decls;
+    for (const FileView &view : views) {
+        collectPointerKeyedContainers(view, decls, result.findings,
+                                      result.suppressed);
+    }
+    std::map<std::string, ContainerDecl> by_name;
+    for (const ContainerDecl &d : decls)
+        by_name.emplace(d.name, d);
+    std::set<std::string> benign;
+    for (const FileView &view : views)
+        collectBenignContainerNames(view, benign);
+
+    for (const FileView &view : views) {
+        checkD1Iteration(view, by_name, benign, result.findings,
+                         result.suppressed);
+        checkD2(view, result.findings, result.suppressed);
+        checkD3(view, result.findings, result.suppressed);
+        checkD4(view, result.findings, result.suppressed);
+        checkD5(view, result.findings, result.suppressed);
+    }
+
+    auto order = [](const Finding &a, const Finding &b) {
+        if (a.file != b.file)
+            return a.file < b.file;
+        if (a.line != b.line)
+            return a.line < b.line;
+        return a.rule < b.rule;
+    };
+    std::sort(result.findings.begin(), result.findings.end(), order);
+    std::sort(result.suppressed.begin(), result.suppressed.end(), order);
+    return result;
+}
+
+} // namespace isol_lint

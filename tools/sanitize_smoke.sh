@@ -1,14 +1,31 @@
 #!/bin/sh
-# Configure an ASan+UBSan build of the simulator and run the smoke
-# target (quickstart example + a fault-injected CLI scenario).
+# Sanitizer smoke for the simulator:
+#   1. ASan+UBSan build: quickstart example + fault-injected CLI
+#      scenario (the `smoke` target) and an isol_lint pass over the
+#      tree, so the lint tool itself runs sanitized.
+#   2. TSan build: the sweep-engine determinism tests and the fig5
+#      bench with 4 worker threads, the configuration that exercises
+#      the shared-nothing worker pool hardest.
 #
-# Usage: tools/sanitize_smoke.sh [build-dir]   (default: build-asan)
+# Usage: tools/sanitize_smoke.sh [asan-build-dir] [tsan-build-dir]
+#        (defaults: build-asan build-tsan)
 set -eu
 
-BUILD_DIR="${1:-build-asan}"
+ASAN_DIR="${1:-build-asan}"
+TSAN_DIR="${2:-build-tsan}"
 SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
-cmake -S "$SRC_DIR" -B "$BUILD_DIR" -DISOL_SANITIZE=ON
-cmake --build "$BUILD_DIR" -j
-cmake --build "$BUILD_DIR" --target smoke
+echo "== ASan/UBSan =="
+cmake -S "$SRC_DIR" -B "$ASAN_DIR" -DISOL_SANITIZE=address
+cmake --build "$ASAN_DIR" -j
+cmake --build "$ASAN_DIR" --target smoke
+"$ASAN_DIR/tools/isol_lint/isol_lint" --root "$SRC_DIR"
+
+echo "== TSan =="
+cmake -S "$SRC_DIR" -B "$TSAN_DIR" -DISOL_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j --target test_sweep
+cmake --build "$TSAN_DIR" -j --target fig5_fairness
+ISOL_JOBS=4 "$TSAN_DIR/tests/test_sweep"
+(cd "$TSAN_DIR" && ISOL_BENCH_QUICK=1 ./bench/fig5_fairness --jobs 4)
+
 echo "sanitize_smoke: OK"
