@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared helpers for the figure/table benchmark harnesses: environment
- * knobs for runtime vs fidelity, and small printing utilities.
+ * knobs for runtime vs fidelity, supervised-sweep plumbing, and small
+ * printing utilities.
  *
  * Environment variables:
  *   ISOL_BENCH_QUICK=1   coarser sweeps and shorter runs (CI-friendly)
@@ -15,51 +16,161 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/strings.hh"
 #include "common/types.hh"
+#include "isolbench/supervisor.hh"
 #include "isolbench/sweep.hh"
 
 namespace isol::bench
 {
 
 /**
- * Parse the shared bench flags (currently `--jobs N`, default: hardware
- * concurrency). Unknown arguments abort with a usage message so typos in
- * long sweep invocations fail fast.
+ * Parse the shared bench flags. Unknown arguments abort with a usage
+ * message so typos in long sweep invocations fail fast.
+ *
+ *   --jobs N              sweep worker threads (default: hw concurrency)
+ *   --retries N           extra attempts per failed task (default 0)
+ *   --task-timeout-ms N   wall-clock watchdog per task attempt
+ *   --task-max-events N   simulated-event budget per task attempt
+ *   --resume              skip tasks checkpointed in the run manifest
+ *   --only N              run only task index N of every supervised sweep
+ *   --manifest PATH       manifest file (default <prog>.manifest.json)
  */
 inline void
 parseArgs(int argc, char **argv)
 {
+    namespace supervisor = isolbench::supervisor;
+    supervisor::Options opt = supervisor::options();
+    if (opt.manifest_path.empty()) {
+        std::string prog = argv[0];
+        size_t slash = prog.find_last_of('/');
+        if (slash != std::string::npos)
+            prog = prog.substr(slash + 1);
+        opt.manifest_path = prog + ".manifest.json";
+    }
+
+    auto uintValue = [argv](int argc_, char **argv_, int &i) {
+        auto parsed = i + 1 < argc_
+                          ? isol::parseUint(argv_[++i])
+                          : std::optional<uint64_t>{};
+        if (!parsed) {
+            std::fprintf(stderr, "%s: bad or missing value for '%s'\n",
+                         argv[0], argv_[i]);
+            std::exit(2);
+        }
+        return *parsed;
+    };
+
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            auto parsed = isol::parseUint(argv[++i]);
-            if (!parsed || *parsed == 0) {
-                std::fprintf(stderr, "%s: bad --jobs value '%s'\n",
-                             argv[0], argv[i]);
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            uint64_t jobs = uintValue(argc, argv, i);
+            if (jobs == 0) {
+                std::fprintf(stderr, "%s: bad --jobs value\n", argv[0]);
                 std::exit(2);
             }
             isolbench::sweep::setDefaultJobs(
-                static_cast<uint32_t>(*parsed));
+                static_cast<uint32_t>(jobs));
+        } else if (std::strcmp(argv[i], "--retries") == 0) {
+            opt.retries =
+                static_cast<uint32_t>(uintValue(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--task-timeout-ms") == 0) {
+            opt.task_timeout_ms =
+                static_cast<double>(uintValue(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--task-max-events") == 0) {
+            opt.max_task_events = uintValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            opt.resume = true;
+        } else if (std::strcmp(argv[i], "--only") == 0) {
+            opt.only = uintValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--manifest") == 0 &&
+                   i + 1 < argc) {
+            opt.manifest_path = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "%s: unknown argument '%s' (supported: "
-                         "--jobs N)\n", argv[0], argv[i]);
+                         "%s: unknown argument '%s' (supported: --jobs N"
+                         " --retries N --task-timeout-ms N"
+                         " --task-max-events N --resume --only N"
+                         " --manifest PATH)\n", argv[0], argv[i]);
             std::exit(2);
         }
     }
+
+    supervisor::setOptions(opt);
+    if (opt.resume)
+        supervisor::loadManifestFile(opt.manifest_path);
 }
 
 /**
- * Emit the sweep self-profile: a one-line summary on stderr (stdout
- * stays byte-identical across thread counts) plus BENCH_sweep.json for
- * cross-PR perf tracking.
+ * Run a supervised, checkpointed sweep of payload-producing tasks and
+ * return the payloads (task order; "" where a task finally failed or
+ * was skipped via --only). Task failures surface in the failure table
+ * printed by emitSweepReport(), not as exceptions, so one bad grid
+ * point cannot take down a whole figure.
+ */
+inline std::vector<std::string>
+supervisedSweep(const std::string &name,
+                const std::vector<isolbench::supervisor::Task> &tasks)
+{
+    std::vector<std::string> payloads;
+    isolbench::supervisor::run(name, tasks, payloads);
+    return payloads;
+}
+
+/** Join table cells into a checkpointable payload row. */
+inline std::string
+joinRow(const std::vector<std::string> &cells)
+{
+    std::string out;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out += '\t';
+        out += cells[i];
+    }
+    return out;
+}
+
+/** Split a payload row back into table cells. */
+inline std::vector<std::string>
+splitRow(const std::string &payload)
+{
+    return isol::splitString(payload, '\t');
+}
+
+/**
+ * Encode a double as a hexfloat so a checkpointed payload round-trips
+ * bit-exactly through the manifest (decimal formatting would not).
+ */
+inline std::string
+hexDouble(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", value);
+    return buf;
+}
+
+/** Decode a hexDouble() payload; 0.0 for "" (failed/skipped task). */
+inline double
+parseHexDouble(const std::string &text)
+{
+    if (text.empty())
+        return 0.0;
+    return std::strtod(text.c_str(), nullptr);
+}
+
+/**
+ * Emit the sweep self-profile and the supervisor failure table: a
+ * summary on stderr (stdout stays byte-identical across thread counts
+ * and across --resume) plus BENCH_sweep.json for cross-PR perf
+ * tracking.
  */
 inline void
 emitSweepReport()
 {
     std::fprintf(stderr, "%s\n",
                  isolbench::sweep::profileSummaryLine().c_str());
+    std::fputs(isolbench::supervisor::failureTable().c_str(), stderr);
     if (!isolbench::sweep::writeProfileJson("BENCH_sweep.json"))
         std::fprintf(stderr, "warning: could not write BENCH_sweep.json\n");
 }

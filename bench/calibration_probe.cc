@@ -29,28 +29,67 @@ main(int argc, char **argv)
     stats::Table table({"metric", "paper", "simulated"});
     D1Options opts;
 
+    // Every probe is a supervised task whose payload is the measured
+    // double as a hexfloat, so checkpointed values round-trip bit-exact
+    // through the manifest and a --resume prints the same table.
+    auto lcP99 = [&opts](Knob knob, uint32_t apps) {
+        // isol: parallel
+        return [&opts, knob, apps]() -> std::string {
+            return bench::hexDouble(runLcScaling(knob, apps, opts).p99_us);
+        };
+    };
+    auto lcCpu = [&opts](Knob knob, uint32_t apps) {
+        // isol: parallel
+        return [&opts, knob, apps]() -> std::string {
+            return bench::hexDouble(
+                runLcScaling(knob, apps, opts).cpu_util);
+        };
+    };
+    auto batchGibs = [&opts](Knob knob, uint32_t apps, uint32_t ssds) {
+        // isol: parallel
+        return [&opts, knob, apps, ssds]() -> std::string {
+            return bench::hexDouble(
+                runBatchScaling(knob, apps, ssds, opts).agg_gibs);
+        };
+    };
+    std::vector<supervisor::Task> tasks = {
+        lcP99(Knob::kNone, 1),
+        lcP99(Knob::kMqDeadline, 1),
+        lcP99(Knob::kBfq, 1),
+        lcP99(Knob::kNone, 16),
+        lcP99(Knob::kIoCost, 16),
+        lcCpu(Knob::kNone, 8),
+        lcCpu(Knob::kIoCost, 8),
+        batchGibs(Knob::kNone, 17, 1),
+        batchGibs(Knob::kMqDeadline, 17, 1),
+        batchGibs(Knob::kBfq, 17, 1),
+        batchGibs(Knob::kNone, 17, 7),
+        batchGibs(Knob::kMqDeadline, 17, 7),
+        batchGibs(Knob::kBfq, 17, 7),
+        batchGibs(Knob::kIoMax, 17, 7),
+        batchGibs(Knob::kIoCost, 17, 7),
+    };
+    std::vector<std::string> payloads =
+        bench::supervisedSweep("calibration", tasks);
+
     LcScalingResult none1, mq1, bfq1, none16, cost16, none8, cost8;
     BatchScalingResult bnone1, bmq1, bbfq1;
     BatchScalingResult bnone7, bmq7, bbfq7, bmax7, bcost7;
-
-    // isol: parallel
-    sweep::run({
-        [&] { none1 = runLcScaling(Knob::kNone, 1, opts); },
-        [&] { mq1 = runLcScaling(Knob::kMqDeadline, 1, opts); },
-        [&] { bfq1 = runLcScaling(Knob::kBfq, 1, opts); },
-        [&] { none16 = runLcScaling(Knob::kNone, 16, opts); },
-        [&] { cost16 = runLcScaling(Knob::kIoCost, 16, opts); },
-        [&] { none8 = runLcScaling(Knob::kNone, 8, opts); },
-        [&] { cost8 = runLcScaling(Knob::kIoCost, 8, opts); },
-        [&] { bnone1 = runBatchScaling(Knob::kNone, 17, 1, opts); },
-        [&] { bmq1 = runBatchScaling(Knob::kMqDeadline, 17, 1, opts); },
-        [&] { bbfq1 = runBatchScaling(Knob::kBfq, 17, 1, opts); },
-        [&] { bnone7 = runBatchScaling(Knob::kNone, 17, 7, opts); },
-        [&] { bmq7 = runBatchScaling(Knob::kMqDeadline, 17, 7, opts); },
-        [&] { bbfq7 = runBatchScaling(Knob::kBfq, 17, 7, opts); },
-        [&] { bmax7 = runBatchScaling(Knob::kIoMax, 17, 7, opts); },
-        [&] { bcost7 = runBatchScaling(Knob::kIoCost, 17, 7, opts); },
-    });
+    none1.p99_us = bench::parseHexDouble(payloads[0]);
+    mq1.p99_us = bench::parseHexDouble(payloads[1]);
+    bfq1.p99_us = bench::parseHexDouble(payloads[2]);
+    none16.p99_us = bench::parseHexDouble(payloads[3]);
+    cost16.p99_us = bench::parseHexDouble(payloads[4]);
+    none8.cpu_util = bench::parseHexDouble(payloads[5]);
+    cost8.cpu_util = bench::parseHexDouble(payloads[6]);
+    bnone1.agg_gibs = bench::parseHexDouble(payloads[7]);
+    bmq1.agg_gibs = bench::parseHexDouble(payloads[8]);
+    bbfq1.agg_gibs = bench::parseHexDouble(payloads[9]);
+    bnone7.agg_gibs = bench::parseHexDouble(payloads[10]);
+    bmq7.agg_gibs = bench::parseHexDouble(payloads[11]);
+    bbfq7.agg_gibs = bench::parseHexDouble(payloads[12]);
+    bmax7.agg_gibs = bench::parseHexDouble(payloads[13]);
+    bcost7.agg_gibs = bench::parseHexDouble(payloads[14]);
 
     // --- LC-app latency (Fig. 3) ---
     table.addRow({"LC x1 none P99 (us)", "~90-120",

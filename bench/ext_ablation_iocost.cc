@@ -146,8 +146,9 @@ vrateWindowSweep()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Ablation: io.cost mechanism components\n");
     donationAblation();
     timerAblation();

@@ -154,8 +154,9 @@ floodReadLatency()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Ablation: SSD model parameters\n");
     overprovisionSweep();
     writeCacheSweep();

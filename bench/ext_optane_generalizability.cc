@@ -101,8 +101,9 @@ fairness(Knob knob, const ssd::SsdConfig &device, FairnessMix mix,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     ssd::SsdConfig flash = ssd::samsung980ProLike();
     ssd::SsdConfig optane = ssd::optaneLike();
 

@@ -116,8 +116,9 @@ writeFloodView()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Extension: Linux NVMe scheduler comparison "
                 "(none / mq-deadline / bfq / kyber)\n");
     overheadView();

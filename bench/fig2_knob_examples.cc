@@ -96,8 +96,9 @@ runPanel(const Panel &panel)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Fig. 2: cgroups I/O control knob examples "
                 "(timeline compressed 10:1; A 0-5s, B 1-7s, C 2-5s)\n");
 

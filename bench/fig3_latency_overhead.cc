@@ -43,8 +43,9 @@ printCdf(const LcScalingResult &res)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bool quick = bench::quickMode();
     D1Options opts;
     if (quick) {

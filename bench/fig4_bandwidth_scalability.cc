@@ -19,8 +19,9 @@ using namespace isol;
 using namespace isol::isolbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bool quick = bench::quickMode();
     D1Options opts;
     opts.duration = quick ? msToNs(800) : msToNs(1200);

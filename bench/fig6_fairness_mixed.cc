@@ -43,8 +43,9 @@ runPanel(const char *title, FairnessMix mix, const FairnessOptions &opts)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bool quick = bench::quickMode();
     FairnessOptions opts;
     opts.repeats = quick ? 1 : 3;

@@ -20,6 +20,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "bench_util.hh"
 #include "blk/qos_cost.hh"
 #include "cgroup/cgroup.hh"
 #include "common/rng.hh"
@@ -426,8 +427,9 @@ int
 main(int argc, char **argv)
 {
     benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
-        return 1;
+    // Anything google-benchmark did not consume goes through the shared
+    // bench flags (--jobs & supervision), which abort on real typos.
+    bench::parseArgs(argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     writeMicroJson("BENCH_micro.json");

@@ -24,8 +24,9 @@ using namespace isol;
 using namespace isol::isolbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     bool quick = bench::quickMode();
     BurstOptions opts;
     opts.threshold = 0.9;

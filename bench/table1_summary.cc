@@ -77,12 +77,25 @@ main(int argc, char **argv)
     d4.burst_start = msToNs(1000);
     d4.threshold = 0.9;
 
-    // Baselines from the no-knob configuration.
-    LcScalingResult none_lat;
-    BatchScalingResult none_bw;
+    // Baselines from the no-knob configuration. Payloads carry the
+    // doubles as hexfloats so a --resume restores them bit-exactly.
     // isol: parallel
-    sweep::run({[&] { none_lat = runLcScaling(Knob::kNone, 1, d1); },
-                [&] { none_bw = runBatchScaling(Knob::kNone, 8, 1, d1); }});
+    std::vector<supervisor::Task> baseline_tasks = {
+        [&]() -> std::string {
+            return bench::hexDouble(runLcScaling(Knob::kNone, 1, d1)
+                                        .p99_us);
+        },
+        [&]() -> std::string {
+            return bench::hexDouble(
+                runBatchScaling(Knob::kNone, 8, 1, d1).agg_gibs);
+        },
+    };
+    std::vector<std::string> baselines =
+        bench::supervisedSweep("table1-baselines", baseline_tasks);
+    LcScalingResult none_lat;
+    none_lat.p99_us = bench::parseHexDouble(baselines[0]);
+    BatchScalingResult none_bw;
+    none_bw.agg_gibs = bench::parseHexDouble(baselines[1]);
 
     stats::Table table({"cgroups I/O control knob", "Low Overhead",
                         "Proportional Fairness",
@@ -103,18 +116,13 @@ main(int argc, char **argv)
     };
 
     // Each knob's verdicts come from an independent batch of runs, so
-    // the five rows evaluate concurrently; the table is assembled from
-    // the collected slots in row order.
-    struct RowVerdicts
-    {
-        const char *overhead;
-        const char *fairness;
-        const char *tradeoff;
-        const char *bursts;
-    };
-    // isol: parallel
-    std::vector<RowVerdicts> verdicts = sweep::map<RowVerdicts>(
-        rows.size(), [&](size_t row_idx) {
+    // the five rows evaluate concurrently as supervised checkpointed
+    // tasks; the table is assembled from the row payloads in row order.
+    std::vector<supervisor::Task> row_tasks;
+    row_tasks.reserve(rows.size());
+    for (size_t row_idx = 0; row_idx < rows.size(); ++row_idx) {
+        // isol: parallel
+        row_tasks.push_back([&, row_idx]() -> std::string {
         Knob knob = rows[row_idx].knob;
 
         // D1: low overhead.
@@ -210,13 +218,16 @@ main(int argc, char **argv)
             bursts = verdict(burst_ok);
         }
 
-        return RowVerdicts{overhead, fairness, tradeoff, bursts};
-    });
+        return bench::joinRow({rows[row_idx].label, overhead, fairness,
+                               tradeoff, bursts});
+        });
+    }
+    std::vector<std::string> row_payloads =
+        bench::supervisedSweep("table1-rows", row_tasks);
 
-    for (size_t i = 0; i < rows.size(); ++i) {
-        table.addRow({rows[i].label, verdicts[i].overhead,
-                      verdicts[i].fairness, verdicts[i].tradeoff,
-                      verdicts[i].bursts});
+    for (const std::string &payload : row_payloads) {
+        if (!payload.empty())
+            table.addRow(bench::splitRow(payload));
     }
 
     std::fputs(table.toAligned().c_str(), stdout);

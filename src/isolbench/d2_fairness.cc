@@ -1,6 +1,7 @@
 #include "isolbench/d2_fairness.hh"
 
 #include "common/logging.hh"
+#include "isolbench/supervisor.hh"
 #include "isolbench/sweep.hh"
 #include "stats/fairness.hh"
 #include "stats/summary.hh"
@@ -100,17 +101,22 @@ runFairness(Knob knob, uint32_t cgroups, bool weighted, FairnessMix mix,
         std::vector<double> group_bw;
     };
 
+    std::string point_name = strCat("d2-", knobName(knob), "-", cgroups,
+                                    weighted ? "-weighted-" : "-uniform-",
+                                    fairnessMixName(mix));
+
     // Every repeat owns its whole simulated system and differs only in
     // seed, so the multi-seed std-dev loop fans out across the sweep
     // pool; the summaries are folded in repeat order afterwards to keep
-    // the floating-point results identical to a sequential run.
+    // the floating-point results identical to a sequential run. The
+    // supervised map adds watchdog/budget guards and retries per repeat
+    // (partial repeat statistics would silently skew the std-devs, so a
+    // repeat that exhausts its retries fails the whole point).
     // isol: parallel
-    std::vector<RepeatResult> reps = sweep::map<RepeatResult>(
-        opts.repeats, [&](size_t rep) {
+    std::vector<RepeatResult> reps = supervisor::guardedMap<RepeatResult>(
+        strCat(point_name, "-repeats"), opts.repeats, [&](size_t rep) {
         ScenarioConfig cfg;
-        cfg.name = strCat("d2-", knobName(knob), "-", cgroups,
-                          weighted ? "-weighted-" : "-uniform-",
-                          fairnessMixName(mix));
+        cfg.name = point_name;
         cfg.knob = knob;
         cfg.num_cores = opts.num_cores;
         cfg.num_devices = 1;

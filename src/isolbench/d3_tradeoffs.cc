@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "isolbench/supervisor.hh"
 #include "isolbench/sweep.hh"
 
 namespace isol::isolbench
@@ -200,9 +201,14 @@ runTradeoffSweep(Knob knob, PriorityAppKind kind, BeWorkload be,
     }
 
     // Each configuration is an independent simulation; fan the grid out
-    // across the sweep pool, results landing in config order.
+    // across the sweep pool, results landing in config order. The
+    // supervised map adds watchdog/budget guards and retries per
+    // configuration.
     // isol: parallel
-    return sweep::map<TradeoffPoint>(settings.size(), [&](size_t idx) {
+    return supervisor::guardedMap<TradeoffPoint>(
+        strCat("d3-", knobName(knob), "-", priorityAppKindName(kind),
+               "-", beWorkloadName(be)),
+        settings.size(), [&](size_t idx) {
         const KnobSetting &setting = settings[idx];
         ScenarioConfig cfg;
         cfg.name = strCat("d3-", knobName(knob), "-",

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "isolbench/supervisor.hh"
 #include "isolbench/sweep.hh"
+#include "isolbench/validate.hh"
 
 namespace isol::isolbench
 {
@@ -259,7 +261,22 @@ Scenario::run()
         busy_at_warmup_ = cpus_->totalBusyNs();
     });
     double wall_start_ms = sweep::monotonicMs();
-    sim_.runUntil(cfg_.duration);
+    if (supervisor::guardActive()) {
+        // Same event order as runUntil(); the chunk boundaries only
+        // decide when the guard gets to look at the wall clock and the
+        // event budget, so supervised runs stay byte-identical.
+        constexpr uint64_t kGuardChunkEvents = 8192;
+        for (;;) {
+            uint64_t executed =
+                sim_.runChunk(cfg_.duration, kGuardChunkEvents);
+            supervisor::chargeGuardEvents(executed);
+            supervisor::pollGuardDeadline();
+            if (executed < kGuardChunkEvents)
+                break;
+        }
+    } else {
+        sim_.runUntil(cfg_.duration);
+    }
     double wall_ms = sweep::monotonicMs() - wall_start_ms;
 
     sweep::ScenarioProfile profile;
@@ -272,6 +289,10 @@ Scenario::run()
             : 0.0;
     profile.peak_queue_depth = sim_.peakQueueDepth();
     sweep::recordProfile(std::move(profile));
+
+    // A run that finishes with inconsistent counters must not flow into
+    // a figure; the supervisor classifies this as invariant_violation.
+    validate::enforce(validate::checkScenario(*this), cfg_.name);
 }
 
 double

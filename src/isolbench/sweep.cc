@@ -42,6 +42,31 @@ autoJobs()
     return hw > 0 ? hw : 1;
 }
 
+// isol-lint: allow(D4): protects the worker-context capture hook below
+std::mutex g_context_mutex;
+// isol-lint: allow(D4): supervisor-installed capture hook so task
+// budgets survive into nested worker pools; never read by simulation
+WorkerContextCapture g_context_capture;
+
+std::function<std::function<void()>()>
+contextCapture()
+{
+    std::lock_guard<std::mutex> lock(g_context_mutex);
+    return g_context_capture;
+}
+
+std::string
+failureSummary(const std::vector<TaskFailure> &failures)
+{
+    std::string msg = strCat("sweep: ", failures.size(),
+                             " tasks failed:");
+    for (const TaskFailure &f : failures)
+        msg += strCat(" [", f.task, "] ", f.message, ";");
+    if (!msg.empty() && msg.back() == ';')
+        msg.pop_back();
+    return msg;
+}
+
 // isol-lint: allow(D4): protects the profile sink below
 std::mutex g_profile_mutex;
 // isol-lint: allow(D4): profiling sink (stderr/JSON only); recorded in
@@ -74,11 +99,38 @@ setDefaultJobs(uint32_t jobs)
 }
 
 void
-run(std::vector<std::function<void()>> tasks, uint32_t jobs)
+setWorkerContextCapture(WorkerContextCapture capture)
+{
+    std::lock_guard<std::mutex> lock(g_context_mutex);
+    g_context_capture = std::move(capture);
+}
+
+std::string
+describeException(const std::exception_ptr &error)
+{
+    if (!error)
+        return "no exception";
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown non-std exception";
+    }
+}
+
+SweepError::SweepError(std::vector<TaskFailure> failures)
+    : std::runtime_error(failureSummary(failures)),
+      failures_(std::move(failures))
+{
+}
+
+std::vector<TaskFailure>
+runCollect(std::vector<std::function<void()>> tasks, uint32_t jobs)
 {
     size_t n = tasks.size();
     if (n == 0)
-        return;
+        return {};
 
     std::vector<std::exception_ptr> errors(n);
     std::atomic<size_t> next{0};
@@ -101,11 +153,18 @@ run(std::vector<std::function<void()>> tasks, uint32_t jobs)
     if (workers <= 1 || t_in_worker) {
         drain();
     } else {
+        // Hand each worker the starting thread's task context (e.g. the
+        // supervisor's budgets) so guards keep applying across the hop.
+        std::function<void()> install;
+        if (auto capture = contextCapture())
+            install = capture();
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (uint32_t w = 0; w < workers; ++w) {
-            pool.emplace_back([&drain] {
+            pool.emplace_back([&drain, &install] {
                 t_in_worker = true;
+                if (install)
+                    install();
                 drain();
                 t_in_worker = false;
             });
@@ -114,10 +173,25 @@ run(std::vector<std::function<void()>> tasks, uint32_t jobs)
             t.join();
     }
 
-    for (std::exception_ptr &err : errors) {
-        if (err)
-            std::rethrow_exception(err);
+    std::vector<TaskFailure> failures;
+    for (size_t i = 0; i < n; ++i) {
+        if (errors[i]) {
+            failures.push_back(
+                TaskFailure{i, describeException(errors[i]), errors[i]});
+        }
     }
+    return failures;
+}
+
+void
+run(std::vector<std::function<void()>> tasks, uint32_t jobs)
+{
+    std::vector<TaskFailure> failures = runCollect(std::move(tasks), jobs);
+    if (failures.empty())
+        return;
+    if (failures.size() == 1)
+        std::rethrow_exception(failures.front().error);
+    throw SweepError(std::move(failures));
 }
 
 double

@@ -25,12 +25,43 @@
 #define ISOL_ISOLBENCH_SWEEP_HH
 
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace isol::isolbench::sweep
 {
+
+/** One failed task: its sweep index, message, and original exception. */
+struct TaskFailure
+{
+    size_t task = 0;
+    std::string message;
+    std::exception_ptr error;
+};
+
+/**
+ * Thrown by run() when more than one task failed: carries *every*
+ * failure (index + what() + original exception_ptr) in task-index
+ * order, so a caller scheduling retries sees the full set rather than
+ * just the first casualty. A single failure is rethrown as the original
+ * exception to preserve its type for existing catch sites.
+ */
+class SweepError : public std::runtime_error
+{
+  public:
+    explicit SweepError(std::vector<TaskFailure> failures);
+
+    const std::vector<TaskFailure> &failures() const { return failures_; }
+
+  private:
+    std::vector<TaskFailure> failures_;
+};
+
+/** Best-effort what() of a captured exception ("unknown" if opaque). */
+std::string describeException(const std::exception_ptr &error);
 
 /**
  * Worker count used when a runner passes jobs=0: the `ISOL_JOBS`
@@ -45,10 +76,31 @@ void setDefaultJobs(uint32_t jobs);
  * Execute every task exactly once on `jobs` workers (0 = defaultJobs())
  * and block until all complete. Tasks must be independent; each writes
  * only state it owns (typically a result slot keyed by its index).
- * Every task runs even if an earlier one throws; the first exception in
- * task-index order is rethrown afterwards, regardless of thread count.
+ * Every task runs even if an earlier one throws. Afterwards a single
+ * failure is rethrown as the original exception; several failures
+ * become one SweepError carrying all of them in task-index order,
+ * regardless of thread count.
  */
 void run(std::vector<std::function<void()>> tasks, uint32_t jobs = 0);
+
+/**
+ * Like run(), but never throws for task failures: returns every failure
+ * (index + message + exception) in task-index order instead. The sweep
+ * supervisor's retry scheduler is built on this.
+ */
+std::vector<TaskFailure>
+runCollect(std::vector<std::function<void()>> tasks, uint32_t jobs = 0);
+
+/**
+ * Register a capture hook for per-task execution context. When set, the
+ * engine invokes it on the thread that starts a sweep; the returned
+ * installer runs once on every pool worker before it pulls tasks, so
+ * thread-local context (the supervisor's watchdog deadline and event
+ * budgets) survives the hop into a nested worker pool. Pass nullptr to
+ * clear.
+ */
+using WorkerContextCapture = std::function<std::function<void()>()>;
+void setWorkerContextCapture(WorkerContextCapture capture);
 
 /**
  * Map `fn(i)` over 0..n-1 in parallel, collecting results by index.

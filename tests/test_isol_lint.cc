@@ -140,13 +140,24 @@ TEST_P(LintFixture, GoodFixtureIsClean)
 
 INSTANTIATE_TEST_SUITE_P(
     AllRules, LintFixture,
-    ::testing::Values(RuleCase{"D1", "d1_bad.cc", "d1_good.cc"},
-                      RuleCase{"D2", "d2_bad.cc", "d2_good.cc"},
-                      RuleCase{"D3", "d3_bad.cc", "d3_good.cc"},
-                      RuleCase{"D4", "d4_bad.cc", "d4_good.cc"},
-                      RuleCase{"D5", "d5_bad.cc", "d5_good.cc"}),
+    ::testing::Values(
+        RuleCase{"D1", "d1_bad.cc", "d1_good.cc"},
+        RuleCase{"D2", "d2_bad.cc", "d2_good.cc"},
+        RuleCase{"D3", "d3_bad.cc", "d3_good.cc"},
+        RuleCase{"D4", "d4_bad.cc", "d4_good.cc"},
+        RuleCase{"D5", "d5_bad.cc", "d5_good.cc"},
+        RuleCase{"D2", "supervisor_bad.cc", "supervisor_good.cc"}),
     [](const ::testing::TestParamInfo<RuleCase> &info) {
-        return std::string(info.param.rule);
+        // Derive a unique suite name from the bad fixture's basename so
+        // two cases exercising the same rule (d2 / supervisor) don't
+        // collide.
+        std::string name;
+        for (const char *p = info.param.bad; *p && *p != '.'; ++p) {
+            if ((*p >= 'a' && *p <= 'z') || (*p >= 'A' && *p <= 'Z') ||
+                (*p >= '0' && *p <= '9'))
+                name += *p;
+        }
+        return name;
     });
 
 // --- Specific rule behaviours -----------------------------------------

@@ -54,12 +54,38 @@ TEST(SweepEngine, AllTasksRunDespiteThrow)
     }
     try {
         sweep::run(std::move(tasks), 4);
-        FAIL() << "expected FatalError";
-    } catch (const FatalError &e) {
-        // First failure in task-index order, independent of scheduling.
-        EXPECT_STREQ(e.what(), "task 3 failed");
+        FAIL() << "expected SweepError";
+    } catch (const sweep::SweepError &e) {
+        // Every failure is reported, in task-index order, independent of
+        // scheduling.
+        ASSERT_EQ(e.failures().size(), 2u);
+        EXPECT_EQ(e.failures()[0].task, 3u);
+        EXPECT_EQ(e.failures()[0].message, "task 3 failed");
+        EXPECT_EQ(e.failures()[1].task, 5u);
+        EXPECT_EQ(e.failures()[1].message, "task 5 failed");
+        EXPECT_NE(std::string(e.what()).find("2 tasks failed"),
+                  std::string::npos);
     }
     EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(SweepEngine, SingleFailureRethrownVerbatim)
+{
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 4; ++i) {
+        tasks.push_back([i] {
+            if (i == 2)
+                fatal("task 2 failed");
+        });
+    }
+    // One failure: the original exception type survives for callers that
+    // match on FatalError.
+    try {
+        sweep::run(std::move(tasks), 4);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "task 2 failed");
+    }
 }
 
 TEST(SweepEngine, NestedSweepStillCorrect)

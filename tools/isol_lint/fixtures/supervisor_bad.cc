@@ -1,0 +1,26 @@
+// isol-lint fixture: D2 known-bad — a sweep-supervisor-style watchdog
+// and retry jitter reading the wall clock and ambient entropy directly
+// instead of going through the sanctioned sweep::monotonicMs() site and
+// the seeded Rng.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+bool
+watchdogExpired(double deadline_ms)
+{
+    auto now = std::chrono::steady_clock::now(); // wall clock
+    double now_ms =
+        std::chrono::duration<double, std::milli>(now.time_since_epoch())
+            .count();
+    return now_ms > deadline_ms;
+}
+
+double
+retryJitterMs(double base_ms)
+{
+    std::random_device rd; // hardware entropy: not replayable
+    double u = static_cast<double>(rd()) / 4294967295.0;
+    return base_ms * (0.5 + 0.5 * u) +
+           static_cast<double>(std::rand() % 3); // libc generator
+}

@@ -1,0 +1,32 @@
+// isol-lint fixture: D2 known-good — the same watchdog/backoff logic
+// with wall time injected from the sanctioned monotonic clock and the
+// jitter drawn from a seeded generator, so replays are byte-identical.
+#include <cstdint>
+
+struct SeededRng
+{
+    uint64_t s;
+
+    double
+    uniform()
+    {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(s >> 11) * 0x1.0p-53;
+    }
+};
+
+// The caller samples sweep::monotonicMs() (the one allow(D2) site) and
+// hands the value in; this file never touches the clock itself.
+bool
+watchdogExpired(double now_ms, double deadline_ms)
+{
+    return now_ms > deadline_ms;
+}
+
+double
+retryJitterMs(double base_ms, uint64_t seed, uint64_t task,
+              uint64_t attempt)
+{
+    SeededRng rng{seed + task * 0x9E3779B9ull + attempt};
+    return base_ms * (0.5 + 0.5 * rng.uniform());
+}

@@ -22,6 +22,9 @@
  *                         fault-injection profile (default off)
  *   --jobs <n>            sweep worker threads for parallel runners
  *                         (default: hardware concurrency)
+ *   --retries <n>         extra attempts when the run fails (default 0)
+ *   --task-timeout-ms <n> wall-clock watchdog for the run
+ *   --task-max-events <n> simulated-event budget for the run
  *   --set <cgroup>:<file>=<value>
  *                         e.g. --set be:io.max="259:0 rbps=104857600"
  *   --csv                 emit CSV instead of an aligned table
@@ -50,6 +53,7 @@
 #include "common/strings.hh"
 #include "fault/fault.hh"
 #include "isolbench/scenario.hh"
+#include "isolbench/supervisor.hh"
 #include "isolbench/sweep.hh"
 #include "stats/fault_table.hh"
 #include "stats/table.hh"
@@ -96,6 +100,7 @@ printUsage()
         "  --duration MS | --warmup MS | --precondition | --seed N\n"
         "  --faults off|media|thermal|all\n"
         "  --jobs N   (sweep worker threads; default hw concurrency)\n"
+        "  --retries N | --task-timeout-ms N | --task-max-events N\n"
         "  --set CGROUP:FILE=VALUE   (kernel sysfs syntax)\n"
         "  --csv\n"
         "\n"
@@ -235,6 +240,7 @@ main(int argc, char **argv)
     std::vector<AppArg> apps;
     std::vector<KnobWrite> writes;
     bool csv = false;
+    supervisor::Options sup = supervisor::options();
 
     auto next_value = [&](int &i, const char *opt) -> std::string {
         if (i + 1 >= argc)
@@ -297,6 +303,21 @@ main(int argc, char **argv)
             if (!parsed || *parsed == 0)
                 usageError("bad --jobs");
             sweep::setDefaultJobs(static_cast<uint32_t>(*parsed));
+        } else if (arg == "--retries") {
+            auto parsed = parseUint(next_value(i, "--retries"));
+            if (!parsed)
+                usageError("bad --retries");
+            sup.retries = static_cast<uint32_t>(*parsed);
+        } else if (arg == "--task-timeout-ms") {
+            auto parsed = parseUint(next_value(i, "--task-timeout-ms"));
+            if (!parsed)
+                usageError("bad --task-timeout-ms");
+            sup.task_timeout_ms = static_cast<double>(*parsed);
+        } else if (arg == "--task-max-events") {
+            auto parsed = parseUint(next_value(i, "--task-max-events"));
+            if (!parsed)
+                usageError("bad --task-max-events");
+            sup.max_task_events = *parsed;
         } else if (arg == "--app") {
             apps.push_back(parseApp(next_value(i, "--app"),
                                     cfg.duration - cfg.warmup +
@@ -316,36 +337,56 @@ main(int argc, char **argv)
     }
 
     try {
-        Scenario scenario(cfg);
         struct Placed
         {
             uint32_t index;
             std::string name;
         };
+        std::optional<Scenario> scenario_slot;
         std::vector<Placed> placed;
-        uint32_t device_rr = 0;
-        for (const AppArg &app : apps) {
-            for (uint32_t c = 0; c < app.count; ++c) {
-                workload::JobSpec spec = app.spec;
-                if (app.count > 1)
-                    spec.name = strCat(spec.name, c);
-                if (spec.duration == 0 ||
-                    spec.start_time + spec.duration > cfg.duration) {
-                    spec.duration = cfg.duration - spec.start_time;
+        auto buildAndRun = [&] {
+            // A retry rebuilds the whole scenario: a Scenario runs once.
+            scenario_slot.emplace(cfg);
+            Scenario &scenario = *scenario_slot;
+            placed.clear();
+            uint32_t device_rr = 0;
+            for (const AppArg &app : apps) {
+                for (uint32_t c = 0; c < app.count; ++c) {
+                    workload::JobSpec spec = app.spec;
+                    if (app.count > 1)
+                        spec.name = strCat(spec.name, c);
+                    if (spec.duration == 0 ||
+                        spec.start_time + spec.duration > cfg.duration) {
+                        spec.duration = cfg.duration - spec.start_time;
+                    }
+                    std::string name = spec.name;
+                    uint32_t idx = scenario.addApp(
+                        std::move(spec), app.cgroup,
+                        device_rr++ % cfg.num_devices);
+                    placed.push_back(Placed{idx, name});
                 }
-                std::string name = spec.name;
-                uint32_t idx = scenario.addApp(
-                    std::move(spec), app.cgroup,
-                    device_rr++ % cfg.num_devices);
-                placed.push_back(Placed{idx, name});
             }
-        }
-        for (const KnobWrite &write : writes) {
-            scenario.tree().writeFile(scenario.group(write.cgroup),
-                                      write.file, write.value);
-        }
+            for (const KnobWrite &write : writes) {
+                scenario.tree().writeFile(scenario.group(write.cgroup),
+                                          write.file, write.value);
+            }
+            scenario.run();
+        };
 
-        scenario.run();
+        if (sup.retries > 0 || sup.task_timeout_ms > 0.0 ||
+            sup.max_task_events > 0) {
+            // Supervised run: watchdog/event-budget guards plus retries,
+            // so a wedged or invalid configuration fails with a
+            // classified error instead of hanging the terminal.
+            supervisor::setOptions(sup);
+            supervisor::guardedMap<int>("cli", 1, [&](size_t) {
+                buildAndRun();
+                return 0;
+            });
+        } else {
+            buildAndRun();
+        }
+        Scenario &scenario = *scenario_slot;
 
         stats::Table table({"app", "cgroup", "MiB/s", "IOPS",
                             "P50 us", "P99 us", "P99.9 us"});
@@ -389,6 +430,11 @@ main(int argc, char **argv)
             }
         }
     } catch (const FatalError &e) {
+        std::fprintf(stderr, "isolbench: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        // SweepError (supervised run out of retries), invariant
+        // violations from result validation, watchdog/budget aborts.
         std::fprintf(stderr, "isolbench: %s\n", e.what());
         return 1;
     }
