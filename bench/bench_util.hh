@@ -22,9 +22,29 @@
 #include "common/types.hh"
 #include "isolbench/supervisor.hh"
 #include "isolbench/sweep.hh"
+#include "sim/invariants.hh"
+#include "workload/adversary.hh"
 
 namespace isol::bench
 {
+
+/**
+ * Adversarial tenant selected with `--adversary` (kNone when absent).
+ * Benches that support a chaos tenant read this after parseArgs().
+ */
+inline workload::AdversaryKind &
+adversaryFlag()
+{
+    static workload::AdversaryKind kind = workload::AdversaryKind::kNone;
+    return kind;
+}
+
+/** Convenience reader for adversaryFlag(). */
+inline workload::AdversaryKind
+adversary()
+{
+    return adversaryFlag();
+}
 
 /**
  * Parse the shared bench flags. Unknown arguments abort with a usage
@@ -37,6 +57,11 @@ namespace isol::bench
  *   --resume              skip tasks checkpointed in the run manifest
  *   --only N              run only task index N of every supervised sweep
  *   --manifest PATH       manifest file (default <prog>.manifest.json)
+ *   --adversary NAME      add a misbehaving tenant (queue-flood, gc-storm,
+ *                         square-wave, flush-storm, slow-drain) in benches
+ *                         that support one
+ *   --check-invariants    enable the runtime invariant checker in every
+ *                         scenario of this process
  */
 inline void
 parseArgs(int argc, char **argv)
@@ -84,15 +109,39 @@ parseArgs(int argc, char **argv)
             opt.resume = true;
         } else if (std::strcmp(argv[i], "--only") == 0) {
             opt.only = uintValue(argc, argv, i);
-        } else if (std::strcmp(argv[i], "--manifest") == 0 &&
-                   i + 1 < argc) {
+        } else if (std::strcmp(argv[i], "--manifest") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: missing value for '--manifest'\n",
+                             argv[0]);
+                std::exit(2);
+            }
             opt.manifest_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--adversary") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: missing value for '--adversary'\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            auto kind = workload::parseAdversary(argv[++i]);
+            if (!kind) {
+                std::fprintf(stderr,
+                             "%s: unknown adversary '%s' (supported:"
+                             " queue-flood gc-storm square-wave"
+                             " flush-storm slow-drain none)\n",
+                             argv[0], argv[i]);
+                std::exit(2);
+            }
+            adversaryFlag() = *kind;
+        } else if (std::strcmp(argv[i], "--check-invariants") == 0) {
+            sim::setCheckInvariantsDefault(true);
         } else {
             std::fprintf(stderr,
                          "%s: unknown argument '%s' (supported: --jobs N"
                          " --retries N --task-timeout-ms N"
                          " --task-max-events N --resume --only N"
-                         " --manifest PATH)\n", argv[0], argv[i]);
+                         " --manifest PATH --adversary NAME"
+                         " --check-invariants)\n", argv[0], argv[i]);
             std::exit(2);
         }
     }

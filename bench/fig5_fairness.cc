@@ -88,9 +88,15 @@ main(int argc, char **argv)
     opts.repeats = quick ? 1 : 2;
     opts.duration = quick ? msToNs(800) : msToNs(1200);
     opts.warmup = quick ? msToNs(250) : msToNs(300);
+    opts.adversary = bench::adversary();
 
     std::printf("Fig. 5: bandwidth fairness scalability; uniform "
                 "workload, 4 batch-apps per cgroup\n");
+    if (opts.adversary != workload::AdversaryKind::kNone) {
+        std::printf("chaos tenant: cgroup 'adv' runs the %s adversary "
+                    "(excluded from fairness stats)\n",
+                    workload::adversaryName(opts.adversary));
+    }
 
     std::vector<uint32_t> scaling = quick
         ? std::vector<uint32_t>{2, 8}

@@ -9,7 +9,7 @@ namespace isol::blk
 
 BlockDevice::BlockDevice(sim::Simulator &sim, cgroup::CgroupTree &tree,
                          ssd::SsdDevice &ssd, BlockDeviceConfig cfg)
-    : sim_(sim), tree_(tree), ssd_(ssd), cfg_(cfg)
+    : sim_(sim), tree_(tree), ssd_(ssd), cfg_(cfg), inv_(cfg.invariants)
 {
     switch (cfg_.elevator) {
       case ElevatorType::kNone:
@@ -39,17 +39,21 @@ BlockDevice::BlockDevice(sim::Simulator &sim, cgroup::CgroupTree &tree,
         io_latency_ = std::make_unique<IoLatencyGate>(
             sim_, cfg_.dev_id,
             [this](Request *req) { enterTags(req); }, cfg_.iolat_params);
+        io_latency_->setInvariants(inv_);
     }
     if (cfg_.enable_io_cost) {
         io_cost_ = std::make_unique<IoCostGate>(
             sim_, cfg_.dev_id, tree_,
             [this](Request *req) { afterIoCost(req); },
             cfg_.iocost_params);
+        io_cost_->setInvariants(inv_);
     }
     if (cfg_.enable_io_max) {
         io_max_ = std::make_unique<IoMaxGate>(
             sim_, cfg_.dev_id,
             [this](Request *req) { afterIoMax(req); });
+        io_max_->setInvariants(inv_);
+        io_max_->setDebugCorruptBucket(cfg_.debug_corrupt_iomax_bucket);
     }
 }
 
@@ -124,6 +128,11 @@ BlockDevice::submit(Request *req)
     req->failed = false;
     req->timeout_event = sim::kInvalidEventId;
     ++submitted_;
+    if (inv_ != nullptr) {
+        inv_->onSubmit(req->cg, req->cg != nullptr
+                                    ? req->cg->name()
+                                    : std::string("<root>"));
+    }
     // Insert-side scheduler lock acquisition.
     if (dispatch_lock_) {
         dispatch_lock_->enqueue(dispatch_cost_,
@@ -177,6 +186,8 @@ BlockDevice::enterTags(Request *req)
 void
 BlockDevice::enterElevator(Request *req)
 {
+    if (inv_ != nullptr)
+        inv_->onElevatorInsert(req);
     elevator_->insert(req);
     pumpDispatch();
 }
@@ -193,6 +204,8 @@ BlockDevice::pumpDispatch()
         Request *req = elevator_->selectNext();
         if (req == nullptr)
             break;
+        if (inv_ != nullptr)
+            inv_->onElevatorDispatch(req);
         if (dispatch_lock_) {
             ++dispatch_pending_;
             dispatch_lock_->enqueue(dispatch_cost_, [this, req] {
@@ -288,6 +301,12 @@ void
 BlockDevice::finishRequest(Request *req)
 {
     ++completed_;
+    if (inv_ != nullptr) {
+        if (req->failed)
+            inv_->onFail(req->cg);
+        else
+            inv_->onComplete(req->cg);
+    }
     if (io_cost_)
         io_cost_->onDeviceComplete(req);
     if (io_latency_)

@@ -28,6 +28,7 @@
 #include "blk/qos_max.hh"
 #include "blk/request.hh"
 #include "fault/fault.hh"
+#include "sim/invariants.hh"
 #include "sim/simulator.hh"
 #include "ssd/device.hh"
 #include "ssd/resource.hh"
@@ -83,6 +84,16 @@ struct BlockDeviceConfig
 
     /** NVMe command-timeout handling (disabled by default). */
     fault::TimeoutFaultConfig nvme_timeout;
+
+    /**
+     * Runtime invariant checker shared by the whole scenario (nullptr =
+     * checking off; every hook is then a single pointer test). Owned by
+     * the Scenario, not the device.
+     */
+    sim::InvariantChecker *invariants = nullptr;
+
+    /** Negative-test mutation: corrupt an io.max token bucket. */
+    bool debug_corrupt_iomax_bucket = false;
 };
 
 /**
@@ -192,6 +203,7 @@ class BlockDevice
     // of an aborted attempt must be matched by id, not by pointer.
     fault::HostFaultStats fault_stats_;
     uint64_t attempt_seq_ = 0;
+    sim::InvariantChecker *inv_ = nullptr;
 };
 
 } // namespace isol::blk

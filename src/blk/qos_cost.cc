@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
+#include "sim/invariants.hh"
 
 namespace isol::blk
 {
@@ -203,6 +205,13 @@ IoCostGate::tryCharge(CgState &st, Request *req)
     if (st.vtime + cost <= vnow_ + static_cast<double>(params_.margin)) {
         st.vtime += cost;
         st.period_abs += abs; // usage accounting for donation
+        if (inv_ != nullptr) {
+            inv_->checkMonotonic(
+                &st, "io.cost vtime monotonicity",
+                strCat("cgroup '",
+                       st.cg != nullptr ? st.cg->name() : "<root>", "'"),
+                st.vtime);
+        }
         return true;
     }
     return false;
@@ -219,6 +228,11 @@ IoCostGate::chargeRetry(Request *req)
     double abs = static_cast<double>(absCost(*req));
     st.vtime += abs / std::max(st.share, 1e-9);
     st.period_abs += abs;
+    if (inv_ != nullptr) {
+        inv_->checkMonotonic(&st, "io.cost vtime monotonicity",
+                             strCat("cgroup '", req->cg->name(), "'"),
+                             st.vtime);
+    }
 }
 
 void

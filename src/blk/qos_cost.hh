@@ -42,6 +42,11 @@
 #include "sim/simulator.hh"
 #include "stats/histogram.hh"
 
+namespace isol::sim
+{
+class InvariantChecker;
+} // namespace isol::sim
+
 namespace isol::blk
 {
 
@@ -108,6 +113,9 @@ class IoCostGate
     /** Hierarchical weight share of `cg` among active groups (testing). */
     double shareOf(const cgroup::Cgroup *cg);
 
+    /** Opt-in runtime invariant checking (nullptr = off). */
+    void setInvariants(sim::InvariantChecker *inv) { inv_ = inv; }
+
   private:
     struct CgState
     {
@@ -165,6 +173,7 @@ class IoCostGate
     std::deque<CgState> states_;
     std::unique_ptr<sim::PeriodicTimer> timer_;
 
+    sim::InvariantChecker *inv_ = nullptr;
     double vrate_ = 1.0;
     double vnow_ = 0.0; //!< device virtual clock (ns)
     SimTime vnow_updated_ = 0;

@@ -3,9 +3,22 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
+#include "sim/invariants.hh"
 
 namespace isol::blk
 {
+
+namespace
+{
+
+std::string
+groupLabel(const cgroup::Cgroup *cg)
+{
+    return cg != nullptr ? cg->name() : std::string("<root>");
+}
+
+} // namespace
 
 IoLatencyGate::IoLatencyGate(sim::Simulator &sim, cgroup::DeviceId dev,
                              PassFn pass, IoLatencyParams params)
@@ -51,6 +64,13 @@ IoLatencyGate::submit(Request *req)
     CgState &st = stateFor(req->cg);
     if (st.queue.empty() && st.inflight < st.qd_limit) {
         ++st.inflight;
+        if (inv_ != nullptr) {
+            inv_->require(st.inflight <= st.qd_limit,
+                          "io.latency window accounting",
+                          strCat("cgroup '", groupLabel(st.cg),
+                                 "': admitted past qd_limit ",
+                                 st.qd_limit));
+        }
         pass_(req);
         return;
     }
@@ -63,6 +83,11 @@ IoLatencyGate::onComplete(Request *req)
 {
     CgState &st = stateFor(req->cg);
     st.window_lat.record(sim_.now() - req->blk_enter_time);
+    if (inv_ != nullptr) {
+        inv_->require(st.inflight > 0, "io.latency window accounting",
+                      strCat("cgroup '", groupLabel(st.cg),
+                             "': completion would underflow in-flight"));
+    }
     if (st.inflight == 0)
         panic("IoLatencyGate: inflight underflow");
     --st.inflight;
@@ -77,6 +102,13 @@ IoLatencyGate::drain(CgState &st)
         st.queue.pop_front();
         --throttled_;
         ++st.inflight;
+        if (inv_ != nullptr) {
+            inv_->require(st.inflight <= st.qd_limit,
+                          "io.latency window accounting",
+                          strCat("cgroup '", groupLabel(st.cg),
+                                 "': drained past qd_limit ",
+                                 st.qd_limit));
+        }
         pass_(head);
     }
 }

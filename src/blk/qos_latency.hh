@@ -32,6 +32,11 @@
 #include "sim/simulator.hh"
 #include "stats/histogram.hh"
 
+namespace isol::sim
+{
+class InvariantChecker;
+} // namespace isol::sim
+
 namespace isol::blk
 {
 
@@ -72,6 +77,9 @@ class IoLatencyGate
     /** Must be called once to arm the periodic window timer. */
     void start();
 
+    /** Opt-in runtime invariant checking (nullptr = off). */
+    void setInvariants(sim::InvariantChecker *inv) { inv_ = inv; }
+
   private:
     struct CgState
     {
@@ -104,6 +112,7 @@ class IoLatencyGate
     std::deque<CgState> states_;
     std::unique_ptr<sim::PeriodicTimer> timer_;
     size_t throttled_ = 0;
+    sim::InvariantChecker *inv_ = nullptr;
 };
 
 } // namespace isol::blk

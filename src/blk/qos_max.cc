@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
+#include "sim/invariants.hh"
 
 namespace isol::blk
 {
@@ -63,20 +65,40 @@ IoMaxGate::consume(CgState &st, const Request &req)
     if (limits.unlimited())
         return;
     SimTime now = sim_.now();
-    auto advance = [&](Bucket &bucket, uint64_t amount, uint64_t rate) {
+    auto advance = [&](Bucket &bucket, const char *dim, uint64_t amount,
+                       uint64_t rate) {
         if (rate == 0)
             return;
+        if (inv_ != nullptr) {
+            inv_->require(bucket.next_free >= 0,
+                          "io.max bucket non-negativity",
+                          strCat("cgroup '", req.cg->name(), "' ", dim,
+                                 " bucket horizon at ", bucket.next_free,
+                                 " ns"));
+        }
         SimTime base = std::max(bucket.next_free, now - kSlice);
         bucket.next_free = base + earnTime(amount, rate);
+        if (inv_ != nullptr) {
+            inv_->checkMonotonic(
+                &bucket, "io.max bucket monotonicity",
+                strCat("cgroup '", req.cg->name(), "' ", dim, " bucket"),
+                static_cast<double>(bucket.next_free));
+        }
     };
     bool read = req.op == OpType::kRead;
     if (read) {
-        advance(st.rbps, req.size, limits.rbps);
-        advance(st.riops, 1, limits.riops);
+        advance(st.rbps, "rbps", req.size, limits.rbps);
+        advance(st.riops, "riops", 1, limits.riops);
     } else {
-        advance(st.wbps, req.size, limits.wbps);
-        advance(st.wiops, 1, limits.wiops);
+        advance(st.wbps, "wbps", req.size, limits.wbps);
+        advance(st.wiops, "wiops", 1, limits.wiops);
     }
+    // Deliberate fault injection for the invariant checker's negative
+    // tests: after a fixed consume count, tear the bandwidth bucket the
+    // offending cgroup is actively draining, so its very next request
+    // of the same kind walks into the corrupted state.
+    if (debug_corrupt_bucket_ && ++debug_consumes_ == 64)
+        (read ? st.rbps : st.wbps).next_free = -msToNs(100);
 }
 
 void

@@ -22,6 +22,11 @@
 #include "blk/request.hh"
 #include "sim/simulator.hh"
 
+namespace isol::sim
+{
+class InvariantChecker;
+} // namespace isol::sim
+
 namespace isol::blk
 {
 
@@ -49,6 +54,17 @@ class IoMaxGate
 
     /** Requests currently held back. */
     size_t throttled() const { return throttled_; }
+
+    /** Opt-in runtime invariant checking (nullptr = off). */
+    void setInvariants(sim::InvariantChecker *inv) { inv_ = inv; }
+
+    /**
+     * Mutation hook for negative tests: after a fixed number of credit
+     * consumptions, corrupt one token bucket by moving its horizon to a
+     * negative time — exactly the accounting bug the invariant checker's
+     * non-negativity check must catch.
+     */
+    void setDebugCorruptBucket(bool on) { debug_corrupt_bucket_ = on; }
 
   private:
     /**
@@ -94,6 +110,9 @@ class IoMaxGate
     // cgroup's state); never iterated, so address order cannot leak
     std::unordered_map<const cgroup::Cgroup *, CgState> state_by_cg_;
     size_t throttled_ = 0;
+    sim::InvariantChecker *inv_ = nullptr;
+    bool debug_corrupt_bucket_ = false;
+    uint64_t debug_consumes_ = 0;
 };
 
 } // namespace isol::blk

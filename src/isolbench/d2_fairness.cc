@@ -161,6 +161,9 @@ runFairness(Knob knob, uint32_t cgroups, bool weighted, FairnessMix mix,
             }
         }
 
+        if (opts.adversary != workload::AdversaryKind::kNone)
+            scenario.addAdversary(opts.adversary, "adv");
+
         if (weighted) {
             applyFairnessWeights(scenario, group_names, knob);
         } else if (knob == Knob::kIoMax) {
@@ -183,10 +186,12 @@ runFairness(Knob knob, uint32_t cgroups, bool weighted, FairnessMix mix,
 
         scenario.run();
 
-        // Per-cgroup bandwidth.
+        // Per-cgroup bandwidth. The adversary tenant (appended after the
+        // measured groups) is excluded from the fairness statistics.
         RepeatResult out;
         out.group_bw.assign(cgroups, 0.0);
-        for (uint32_t i = 0; i < scenario.numApps(); ++i)
+        uint32_t measured = cgroups * opts.apps_per_cgroup;
+        for (uint32_t i = 0; i < measured; ++i)
             out.group_bw[i / opts.apps_per_cgroup] += scenario.appGiBs(i);
 
         std::vector<double> weights(cgroups, 1.0);

@@ -43,6 +43,14 @@ struct FairnessOptions
     SimTime duration = msToNs(1500);
     SimTime warmup = msToNs(300);
     uint64_t seed = 1;
+
+    /**
+     * Optional chaos tenant: when not kNone, an extra cgroup "adv" runs
+     * this adversary next to the measured groups (its bandwidth is
+     * excluded from the fairness statistics — the question is how well
+     * the knob protects the well-behaved groups from it).
+     */
+    workload::AdversaryKind adversary = workload::AdversaryKind::kNone;
 };
 
 /** Aggregated result over repeats. */

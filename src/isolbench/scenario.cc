@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 #include "isolbench/supervisor.hh"
 #include "isolbench/sweep.hh"
 #include "isolbench/validate.hh"
@@ -93,6 +94,8 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg))
         fatal("Scenario: need at least one device");
     if (cfg_.warmup >= cfg_.duration)
         fatal("Scenario: warmup must be shorter than duration");
+    if (cfg_.check_invariants)
+        inv_ = std::make_unique<sim::InvariantChecker>(cfg_.name);
     cpus_ = std::make_unique<host::CpuSet>(sim_, cfg_.num_cores);
     buildDevices();
 }
@@ -112,6 +115,8 @@ Scenario::buildDevices()
 
         blk::BlockDeviceConfig bcfg;
         bcfg.dev_id = i;
+        bcfg.invariants = inv_.get();
+        bcfg.debug_corrupt_iomax_bucket = cfg_.debug_corrupt_iomax_bucket;
         bcfg.nvme_timeout = cfg_.faults.timeout;
         bcfg.mq_params = cfg_.mq_params;
         bcfg.bfq_params = cfg_.bfq_params;
@@ -220,6 +225,18 @@ Scenario::addApp(workload::JobSpec spec, const std::string &cgroup_name,
 }
 
 uint32_t
+Scenario::addAdversary(workload::AdversaryKind kind,
+                       const std::string &cgroup_name,
+                       uint32_t device_index)
+{
+    return addApp(workload::adversaryApp(
+                      kind,
+                      strCat(cgroup_name, "-", workload::adversaryName(kind)),
+                      cfg_.duration),
+                  cgroup_name, device_index);
+}
+
+uint32_t
 Scenario::numApps() const
 {
     return static_cast<uint32_t>(apps_.size());
@@ -247,6 +264,44 @@ Scenario::group(const std::string &name)
     fatal("Scenario: no cgroup named '" + name + "'");
 }
 
+std::string
+Scenario::blameDetail() const
+{
+    std::string out = strCat(" [scenario '", cfg_.name, "'");
+    // Blame the busiest tenant: the one holding the most in-flight I/O
+    // when the guard tripped is almost always the storm's source.
+    const AppSlot *busiest = nullptr;
+    for (const auto &slot : apps_) {
+        if (busiest == nullptr ||
+            slot->job->inflight() > busiest->job->inflight())
+            busiest = slot.get();
+    }
+    if (busiest != nullptr) {
+        out += strCat(", busiest tenant '", busiest->job->spec().name,
+                      "' in cgroup '", busiest->cg->name(),
+                      "', inflight ", busiest->job->inflight());
+        if (busiest->job->spec().adversary !=
+            workload::AdversaryKind::kNone) {
+            out += strCat(", adversary ",
+                          workload::adversaryName(
+                              busiest->job->spec().adversary));
+        }
+    }
+    out += "]";
+    return out;
+}
+
+uint32_t
+Scenario::adversaryTenants() const
+{
+    uint32_t n = 0;
+    for (const auto &slot : apps_) {
+        if (slot->job->spec().adversary != workload::AdversaryKind::kNone)
+            ++n;
+    }
+    return n;
+}
+
 void
 Scenario::run()
 {
@@ -266,18 +321,32 @@ Scenario::run()
         // decide when the guard gets to look at the wall clock and the
         // event budget, so supervised runs stay byte-identical.
         constexpr uint64_t kGuardChunkEvents = 8192;
-        for (;;) {
-            uint64_t executed =
-                sim_.runChunk(cfg_.duration, kGuardChunkEvents);
-            supervisor::chargeGuardEvents(executed);
-            supervisor::pollGuardDeadline();
-            if (executed < kGuardChunkEvents)
-                break;
+        try {
+            for (;;) {
+                uint64_t executed =
+                    sim_.runChunk(cfg_.duration, kGuardChunkEvents);
+                supervisor::chargeGuardEvents(executed);
+                supervisor::pollGuardDeadline();
+                if (executed < kGuardChunkEvents)
+                    break;
+            }
+        } catch (const supervisor::TaskAbort &abort) {
+            // Budget/watchdog trips name the offending tenant so the
+            // supervised failure table is actionable without a replay.
+            throw supervisor::TaskAbort(
+                abort.kind(), strCat(abort.what(), blameDetail()));
         }
     } else {
         sim_.runUntil(cfg_.duration);
     }
     double wall_ms = sweep::monotonicMs() - wall_start_ms;
+
+    if (inv_) {
+        uint64_t total_iodepth = 0;
+        for (const auto &slot : apps_)
+            total_iodepth += slot->job->spec().iodepth;
+        inv_->finalCheck(total_iodepth);
+    }
 
     sweep::ScenarioProfile profile;
     profile.name = cfg_.name;
@@ -288,6 +357,8 @@ Scenario::run()
             ? static_cast<double>(profile.events) / (profile.wall_ms / 1e3)
             : 0.0;
     profile.peak_queue_depth = sim_.peakQueueDepth();
+    profile.invariant_checks = inv_ ? inv_->checksPerformed() : 0;
+    profile.adversary_tenants = adversaryTenants();
     sweep::recordProfile(std::move(profile));
 
     // A run that finishes with inconsistent counters must not flow into

@@ -30,8 +30,10 @@
 #include "fault/fault.hh"
 #include "host/cpu.hh"
 #include "host/engine.hh"
+#include "sim/invariants.hh"
 #include "sim/simulator.hh"
 #include "ssd/device.hh"
+#include "workload/adversary.hh"
 #include "workload/app_profiles.hh"
 #include "workload/job.hh"
 
@@ -96,6 +98,20 @@ struct ScenarioConfig
      * family disabled and the scenario identical to a fault-free build).
      */
     fault::FaultPlane faults;
+
+    /**
+     * Runtime invariant checking (sim/invariants.hh). Defaults to the
+     * process-wide opt-in (`--check-invariants` flag or the
+     * ISOL_CHECK_INVARIANTS env var); off means every hook is a single
+     * null-pointer test.
+     */
+    bool check_invariants = sim::checkInvariantsDefault();
+
+    /**
+     * Negative-test mutation: deliberately corrupt an io.max token
+     * bucket mid-run so the invariant checker has something to catch.
+     */
+    bool debug_corrupt_iomax_bucket = false;
 };
 
 /** The paper-default generated cost model (~2.3 GiB/s read saturation). */
@@ -139,6 +155,15 @@ class Scenario
     uint32_t addApp(workload::JobSpec spec, const std::string &cgroup_name,
                     uint32_t device_index = 0);
 
+    /**
+     * Add a misbehaving tenant (workload/adversary.hh) in cgroup
+     * `cgroup_name` against device `device_index`, running for the full
+     * scenario duration. Returns the app index.
+     */
+    uint32_t addAdversary(workload::AdversaryKind kind,
+                          const std::string &cgroup_name,
+                          uint32_t device_index = 0);
+
     uint32_t numApps() const;
     workload::FioJob &app(uint32_t i);
 
@@ -168,13 +193,23 @@ class Scenario
     /** Context switches per completed I/O over the whole run. */
     double contextSwitchesPerIo() const;
 
+    /** Runtime invariant checker (nullptr when checking is off). */
+    sim::InvariantChecker *invariants() { return inv_.get(); }
+
+    /** Tenants whose spec carries an adversary tag. */
+    uint32_t adversaryTenants() const;
+
   private:
     struct AppSlot;
 
     void buildDevices();
 
+    /** " [scenario ..., busiest tenant ...]" blame for guard aborts. */
+    std::string blameDetail() const;
+
     ScenarioConfig cfg_;
     sim::Simulator sim_;
+    std::unique_ptr<sim::InvariantChecker> inv_;
     cgroup::CgroupTree tree_;
     std::unique_ptr<host::CpuSet> cpus_;
     std::vector<std::unique_ptr<ssd::SsdDevice>> ssds_;

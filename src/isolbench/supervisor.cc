@@ -14,6 +14,7 @@
 #include "common/rng.hh"
 #include "common/strings.hh"
 #include "isolbench/validate.hh"
+#include "sim/invariants.hh"
 #include "sim/simulator.hh"
 #include "stats/table.hh"
 
@@ -406,6 +407,11 @@ classifyError(size_t task, uint32_t attempt,
         out.kind = TaskErrorKind::kResourceExhausted;
         out.message = e.what();
     } catch (const validate::InvariantViolation &e) {
+        out.kind = TaskErrorKind::kInvariantViolation;
+        out.message = e.what();
+    } catch (const sim::InvariantViolation &e) {
+        // Runtime invariant checker (sim/invariants.hh): same taxonomy
+        // bucket as the post-run validators.
         out.kind = TaskErrorKind::kInvariantViolation;
         out.message = e.what();
     } catch (const std::bad_alloc &e) {

@@ -80,7 +80,9 @@ appendJsonProfile(std::string &out, const ScenarioProfile &p)
                   formatDouble(p.wall_ms, 3), ", \"events\": ", p.events,
                   ", \"events_per_sec\": ",
                   formatDouble(p.events_per_sec, 0),
-                  ", \"peak_queue_depth\": ", p.peak_queue_depth, "}");
+                  ", \"peak_queue_depth\": ", p.peak_queue_depth,
+                  ", \"invariant_checks\": ", p.invariant_checks,
+                  ", \"adversary_tenants\": ", p.adversary_tenants, "}");
 }
 
 } // namespace
@@ -237,6 +239,8 @@ profileSummary()
         summary.events += p.events;
         if (p.peak_queue_depth > summary.peak_queue_depth)
             summary.peak_queue_depth = p.peak_queue_depth;
+        summary.invariant_checks += p.invariant_checks;
+        summary.adversary_tenants += p.adversary_tenants;
     }
     if (summary.wall_ms > 0.0) {
         summary.events_per_sec = static_cast<double>(summary.events) /
@@ -270,6 +274,9 @@ writeProfileJson(const std::string &path)
     out += strCat("  \"events_per_sec\": ",
                   formatDouble(s.events_per_sec, 0), ",\n");
     out += strCat("  \"peak_queue_depth\": ", s.peak_queue_depth, ",\n");
+    out += strCat("  \"invariant_checks\": ", s.invariant_checks, ",\n");
+    out += strCat("  \"adversary_tenants\": ", s.adversary_tenants,
+                  ",\n");
     out += "  \"per_scenario\": [\n";
     for (size_t i = 0; i < all.size(); ++i) {
         appendJsonProfile(out, all[i]);

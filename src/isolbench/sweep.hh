@@ -138,6 +138,10 @@ struct ScenarioProfile
     uint64_t events = 0;
     double events_per_sec = 0.0;
     uint64_t peak_queue_depth = 0;
+    /** Runtime invariant checks performed (0 when checking is off). */
+    uint64_t invariant_checks = 0;
+    /** Tenants tagged with an adversary profile (chaos coverage). */
+    uint64_t adversary_tenants = 0;
 };
 
 /** Record one profile (thread-safe; called by Scenario::run()). */
@@ -157,6 +161,8 @@ struct ProfileSummary
     uint64_t events = 0;
     double events_per_sec = 0.0; //!< events / summed wall time
     uint64_t peak_queue_depth = 0; //!< max across scenarios
+    uint64_t invariant_checks = 0; //!< summed runtime invariant checks
+    uint64_t adversary_tenants = 0; //!< summed adversarial tenants
 };
 
 ProfileSummary profileSummary();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Adversarial (misbehaving) tenant catalog — the chaos plane's workload
+ * side. Each adversary is an ordinary deterministic, seeded FioJob spec
+ * built by adversaryApp(); the misbehaviour comes entirely from JobSpec
+ * mechanics (queue-depth ramp, fsync barrier, reap stall, duty cycle,
+ * write pressure), so adversaries replay byte-identically across reruns
+ * and `--jobs` like every other tenant.
+ *
+ * Catalog (paper ROADMAP: "misbehaving-tenant adversaries"):
+ *  - queue-flood: ramps its queue depth 4 -> 512, doubling every 25 ms —
+ *    the tenant that "just raises iodepth" until peers starve;
+ *  - gc-storm:   sustained random overwrites at high depth that chew
+ *    through the FTL's free-block pool and drag peers into GC stalls;
+ *  - square-wave: 25 ms on / 25 ms off bursts at depth 256 — the duty
+ *    cycle io.latency needs ~10 windows to throttle (paper O10);
+ *  - flush-storm: small writes with an fsync barrier every 8 — drains
+ *    the pipe constantly, defeating batching;
+ *  - slow-drain:  submits at depth 256 but burns 50 us of CPU per reap,
+ *    so completions back up while the device stays loaded.
+ */
+
+#ifndef ISOL_WORKLOAD_ADVERSARY_HH
+#define ISOL_WORKLOAD_ADVERSARY_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "workload/job.hh"
+
+namespace isol::workload
+{
+
+/** CLI/report name of an adversary kind ("none" for kNone). */
+const char *adversaryName(AdversaryKind kind);
+
+/** Parse an adversaryName() back ("none" included); nullopt on typo. */
+std::optional<AdversaryKind> parseAdversary(std::string_view name);
+
+/** Every real adversary, in catalog order (kNone excluded). */
+inline constexpr AdversaryKind kAllAdversaries[] = {
+    AdversaryKind::kQueueFlood, AdversaryKind::kGcStorm,
+    AdversaryKind::kSquareWave, AdversaryKind::kFlushStorm,
+    AdversaryKind::kSlowDrain,
+};
+
+/**
+ * Build the JobSpec of one adversarial tenant. Seed stays at the
+ * JobSpec default so Scenario::addApp derives it deterministically from
+ * the scenario seed, like every well-behaved app profile.
+ */
+JobSpec adversaryApp(AdversaryKind kind, const std::string &name,
+                     SimTime duration);
+
+} // namespace isol::workload
+
+#endif // ISOL_WORKLOAD_ADVERSARY_HH

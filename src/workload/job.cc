@@ -40,6 +40,10 @@ FioJob::FioJob(sim::Simulator &sim, JobSpec spec, blk::BlockDevice &bdev,
     if (spec_.op == OpType::kWrite && spec_.read_fraction == 1.0)
         spec_.read_fraction = 0.0;
 
+    depth_limit_ = spec_.qd_ramp_start > 0
+                       ? std::min(spec_.qd_ramp_start, spec_.iodepth)
+                       : spec_.iodepth;
+
     slots_.reserve(spec_.iodepth);
     for (uint32_t i = 0; i < spec_.iodepth; ++i) {
         slots_.push_back(std::make_unique<Inflight>());
@@ -54,6 +58,8 @@ FioJob::~FioJob()
         sim_.cancel(pace_event_);
     if (burst_event_ != sim::kInvalidEventId)
         sim_.cancel(burst_event_);
+    if (ramp_event_ != sim::kInvalidEventId)
+        sim_.cancel(ramp_event_);
 }
 
 void
@@ -87,6 +93,10 @@ FioJob::start()
         burst_paused_ = false;
         burst_event_ = sim_.after(spec_.burst_on, [this] { burstToggle(); });
     }
+    if (depth_limit_ < spec_.iodepth && spec_.qd_ramp_interval > 0) {
+        ramp_event_ =
+            sim_.after(spec_.qd_ramp_interval, [this] { rampDepth(); });
+    }
     fillQueue();
 }
 
@@ -103,6 +113,10 @@ FioJob::stop()
     if (burst_event_ != sim::kInvalidEventId) {
         sim_.cancel(burst_event_);
         burst_event_ = sim::kInvalidEventId;
+    }
+    if (ramp_event_ != sim::kInvalidEventId) {
+        sim_.cancel(ramp_event_);
+        ramp_event_ = sim::kInvalidEventId;
     }
     // The "process" exits once outstanding I/O drains.
     if (inflight_ == 0 && attached_) {
@@ -125,9 +139,24 @@ FioJob::burstToggle()
 }
 
 void
+FioJob::rampDepth()
+{
+    ramp_event_ = sim::kInvalidEventId;
+    if (!running_)
+        return;
+    depth_limit_ = std::min(depth_limit_ * 2, spec_.iodepth);
+    if (depth_limit_ < spec_.iodepth) {
+        ramp_event_ =
+            sim_.after(spec_.qd_ramp_interval, [this] { rampDepth(); });
+    }
+    fillQueue();
+}
+
+void
 FioJob::fillQueue()
 {
-    while (inflight_ < spec_.iodepth && running_ && !burst_paused_) {
+    while (inflight_ < depth_limit_ && running_ && !burst_paused_ &&
+           !fsync_draining_) {
         // Rate pacing via a virtual clock, like fio: credit accrued
         // while the job was throttled by I/O control is capped at one
         // short slice, so the job cannot later burst far above its
@@ -243,8 +272,11 @@ FioJob::pickOp()
 void
 FioJob::onBlkComplete(Inflight *slot)
 {
-    // Completion (reap) CPU work, then account and refill.
-    core_.charge(task_, engine_.completeCost(spec_.iodepth),
+    // Completion (reap) CPU work, then account and refill. A slow-drain
+    // adversary adds its per-I/O stall here, so completions back up on
+    // the core while the device queue stays loaded.
+    core_.charge(task_,
+                 engine_.completeCost(spec_.iodepth) + spec_.reap_stall,
                  [this, slot] { finishIo(slot); });
 }
 
@@ -254,10 +286,23 @@ FioJob::finishIo(Inflight *slot)
     SimTime now = sim_.now();
     SimTime lat = now - slot->issue_start;
     uint32_t size = slot->req.size;
+    bool was_write = slot->req.op == OpType::kWrite;
     free_slots_.push_back(slot);
     if (inflight_ == 0)
         panic("FioJob: inflight underflow");
     --inflight_;
+
+    // fsync barrier: every `fsync_every` completed writes, stop issuing
+    // until the queue drains fully (flush semantics).
+    if (spec_.fsync_every > 0 && was_write &&
+        ++writes_since_flush_ >= spec_.fsync_every) {
+        writes_since_flush_ = 0;
+        fsync_draining_ = true;
+    }
+    if (fsync_draining_ && inflight_ == 0) {
+        fsync_draining_ = false;
+        ++flushes_;
+    }
 
     ++total_ios_;
     series_.add(now, size);

@@ -28,6 +28,22 @@
 namespace isol::workload
 {
 
+/**
+ * Misbehaving-tenant profile a spec was built from. The mechanics live
+ * in plain JobSpec fields (qd ramp, fsync barrier, reap stall, duty
+ * cycle); the tag lets scenarios and reports count adversarial tenants.
+ * Catalog, parsing, and factories: workload/adversary.hh.
+ */
+enum class AdversaryKind : uint8_t
+{
+    kNone, //!< well-behaved tenant
+    kQueueFlood, //!< unbounded queue-depth ramp
+    kGcStorm, //!< write bursts that exhaust the FTL free-block pool
+    kSquareWave, //!< bursty on/off duty cycle
+    kFlushStorm, //!< fsync barrier after every few writes
+    kSlowDrain, //!< submits fast, stalls completions on a starved CPU
+};
+
 /** Everything configurable about one job (fio option subset). */
 struct JobSpec
 {
@@ -55,6 +71,33 @@ struct JobSpec
      */
     double hot_fraction = 0.0;
     double hot_traffic = 0.0;
+
+    // --- Chaos-plane mechanics (all off by default) ---
+
+    /** Adversary profile this spec models (reporting tag only). */
+    AdversaryKind adversary = AdversaryKind::kNone;
+
+    /**
+     * Queue-depth ramp (queue-flooder): start with this effective depth
+     * and double it every `qd_ramp_interval` until `iodepth` is reached.
+     * 0 disables the ramp (full depth immediately).
+     */
+    uint32_t qd_ramp_start = 0;
+    SimTime qd_ramp_interval = 0;
+
+    /**
+     * fsync/flush barrier: after every `fsync_every` completed writes,
+     * stop issuing until all outstanding I/O has drained (the flush
+     * semantics that serialize a write-ahead log). 0 disables.
+     */
+    uint32_t fsync_every = 0;
+
+    /**
+     * Slow-drain: extra completion-side CPU charged per reaped I/O. A
+     * large value clogs the completion path of this job's core, so the
+     * device stays loaded while completions back up. 0 disables.
+     */
+    SimTime reap_stall = 0;
 };
 
 /**
@@ -99,6 +142,15 @@ class FioJob
     const JobSpec &spec() const { return spec_; }
     bool running() const { return running_; }
 
+    /** I/Os currently outstanding (submitted, not yet reaped). */
+    uint32_t inflight() const { return inflight_; }
+
+    /** Current effective queue-depth cap (qd ramp; == iodepth when off). */
+    uint32_t depthLimit() const { return depth_limit_; }
+
+    /** Completed fsync barriers (flush-storm adversary). */
+    uint64_t flushes() const { return flushes_; }
+
     // --- Statistics ---
 
     /** Completion latencies within the measure window. */
@@ -130,6 +182,7 @@ class FioJob
     void onBlkComplete(Inflight *slot);
     void finishIo(Inflight *slot);
     void burstToggle();
+    void rampDepth();
 
     uint64_t pickOffset();
     OpType pickOp();
@@ -147,13 +200,18 @@ class FioJob
     bool running_ = false;
     bool attached_ = false;
     bool burst_paused_ = false;
+    bool fsync_draining_ = false; //!< barrier: wait for a full drain
     uint32_t inflight_ = 0;
+    uint32_t depth_limit_ = 0; //!< effective iodepth cap (qd ramp)
+    uint32_t writes_since_flush_ = 0;
+    uint64_t flushes_ = 0;
     uint64_t issued_bytes_ = 0;
     SimTime pace_vtime_ = 0; //!< rate-limit virtual clock
     uint64_t seq_cursor_ = 0;
     SimTime started_at_ = 0;
     sim::EventId pace_event_ = sim::kInvalidEventId;
     sim::EventId burst_event_ = sim::kInvalidEventId;
+    sim::EventId ramp_event_ = sim::kInvalidEventId;
 
     std::vector<std::unique_ptr<Inflight>> slots_;
     std::vector<Inflight *> free_slots_;

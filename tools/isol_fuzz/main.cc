@@ -1,0 +1,82 @@
+/**
+ * @file
+ * isol_fuzz CLI — differential scenario fuzzing for the chaos plane.
+ *
+ * Usage:
+ *   isol_fuzz [--seeds N] [--seed-base N] [--jobs N]
+ *             [--check-invariants] [--mutate bucket]
+ *             [--expect-violations]
+ *
+ * Exit status: 0 campaign passed, 1 divergence/violation/error,
+ * 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "fuzz.hh"
+
+namespace
+{
+
+[[noreturn]] void
+usageError(const char *prog, const std::string &msg)
+{
+    std::fprintf(stderr,
+                 "%s: %s\n"
+                 "usage: %s [--seeds N] [--seed-base N] [--jobs N]"
+                 " [--check-invariants] [--mutate bucket]"
+                 " [--expect-violations]\n",
+                 prog, msg.c_str(), prog);
+    std::exit(2);
+}
+
+uint64_t
+uintValue(int argc, char **argv, int &i)
+{
+    auto parsed = i + 1 < argc ? isol::parseUint(argv[++i])
+                               : std::optional<uint64_t>{};
+    if (!parsed)
+        usageError(argv[0],
+                   isol::strCat("bad or missing value for '", argv[i],
+                                "'"));
+    return *parsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    isol::fuzz::FuzzOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seeds") == 0) {
+            opts.seeds = uintValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--seed-base") == 0) {
+            opts.seed_base = uintValue(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            uint64_t jobs = uintValue(argc, argv, i);
+            if (jobs == 0)
+                usageError(argv[0], "--jobs must be positive");
+            opts.jobs = static_cast<uint32_t>(jobs);
+        } else if (std::strcmp(argv[i], "--check-invariants") == 0) {
+            opts.check_invariants = true;
+        } else if (std::strcmp(argv[i], "--mutate") == 0) {
+            if (i + 1 >= argc || std::strcmp(argv[i + 1], "bucket") != 0)
+                usageError(argv[0],
+                           "--mutate expects 'bucket' (the only planted "
+                           "mutation so far)");
+            ++i;
+            opts.mutate_bucket = true;
+        } else if (std::strcmp(argv[i], "--expect-violations") == 0) {
+            opts.expect_violations = true;
+        } else {
+            usageError(argv[0], isol::strCat("unknown argument '",
+                                             argv[i], "'"));
+        }
+    }
+    return isol::fuzz::runCampaign(opts);
+}

@@ -25,6 +25,9 @@
  *   --retries <n>         extra attempts when the run fails (default 0)
  *   --task-timeout-ms <n> wall-clock watchdog for the run
  *   --task-max-events <n> simulated-event budget for the run
+ *   --adversary <queue-flood|gc-storm|square-wave|flush-storm|slow-drain>
+ *                         add a misbehaving tenant in cgroup "adv"
+ *   --check-invariants    enable the runtime invariant checker
  *   --set <cgroup>:<file>=<value>
  *                         e.g. --set be:io.max="259:0 rbps=104857600"
  *   --csv                 emit CSV instead of an aligned table
@@ -101,6 +104,9 @@ printUsage()
         "  --faults off|media|thermal|all\n"
         "  --jobs N   (sweep worker threads; default hw concurrency)\n"
         "  --retries N | --task-timeout-ms N | --task-max-events N\n"
+        "  --adversary queue-flood|gc-storm|square-wave|flush-storm|\n"
+        "              slow-drain    (misbehaving tenant in cgroup 'adv')\n"
+        "  --check-invariants        (runtime invariant checker)\n"
         "  --set CGROUP:FILE=VALUE   (kernel sysfs syntax)\n"
         "  --csv\n"
         "\n"
@@ -240,6 +246,7 @@ main(int argc, char **argv)
     std::vector<AppArg> apps;
     std::vector<KnobWrite> writes;
     bool csv = false;
+    workload::AdversaryKind adversary = workload::AdversaryKind::kNone;
     supervisor::Options sup = supervisor::options();
 
     auto next_value = [&](int &i, const char *opt) -> std::string {
@@ -318,6 +325,15 @@ main(int argc, char **argv)
             if (!parsed)
                 usageError("bad --task-max-events");
             sup.max_task_events = *parsed;
+        } else if (arg == "--adversary") {
+            auto parsed =
+                workload::parseAdversary(next_value(i, "--adversary"));
+            if (!parsed)
+                usageError("unknown --adversary (queue-flood|gc-storm|"
+                           "square-wave|flush-storm|slow-drain|none)");
+            adversary = *parsed;
+        } else if (arg == "--check-invariants") {
+            cfg.check_invariants = true;
         } else if (arg == "--app") {
             apps.push_back(parseApp(next_value(i, "--app"),
                                     cfg.duration - cfg.warmup +
@@ -366,6 +382,8 @@ main(int argc, char **argv)
                     placed.push_back(Placed{idx, name});
                 }
             }
+            if (adversary != workload::AdversaryKind::kNone)
+                scenario.addAdversary(adversary, "adv");
             for (const KnobWrite &write : writes) {
                 scenario.tree().writeFile(scenario.group(write.cgroup),
                                           write.file, write.value);

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Sanitizer smoke for the simulator:
 #   1. ASan+UBSan build: quickstart example + fault-injected CLI
-#      scenario (the `smoke` target) and an isol_lint pass over the
-#      tree, so the lint tool itself runs sanitized.
+#      scenario (the `smoke` target), an isol_lint pass over the tree
+#      (so the lint tool itself runs sanitized), a short isol_fuzz
+#      campaign with runtime invariants on, and the D5 degraded-tenant
+#      study with ISOL_CHECK_INVARIANTS=1 — faults, adversaries and the
+#      invariant hooks all under the sanitizer.
 #   2. TSan build: the sweep-engine determinism tests and the fig5
 #      bench with 4 worker threads, the configuration that exercises
 #      the shared-nothing worker pool hardest.
@@ -20,6 +23,11 @@ cmake -S "$SRC_DIR" -B "$ASAN_DIR" -DISOL_SANITIZE=address
 cmake --build "$ASAN_DIR" -j
 cmake --build "$ASAN_DIR" --target smoke
 "$ASAN_DIR/tools/isol_lint/isol_lint" --root "$SRC_DIR"
+"$ASAN_DIR/tools/isol_fuzz/isol_fuzz" --seeds 16 --jobs 4 \
+    --check-invariants
+"$ASAN_DIR/tools/isol_fuzz/isol_fuzz" --seeds 2 --jobs 1 \
+    --mutate bucket --check-invariants --expect-violations
+ISOL_CHECK_INVARIANTS=1 "$ASAN_DIR/examples/degraded_tenant"
 
 echo "== TSan =="
 cmake -S "$SRC_DIR" -B "$TSAN_DIR" -DISOL_SANITIZE=thread
