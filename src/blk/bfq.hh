@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "blk/elevator.hh"
+#include "common/ring.hh"
 #include "sim/simulator.hh"
 
 namespace isol::blk
@@ -55,7 +56,7 @@ class Bfq : public Elevator
     struct Queue
     {
         cgroup::Cgroup *cg = nullptr;
-        std::deque<Request *> fifo;
+        common::RingDeque<Request *> fifo;
         double vfinish = 0.0; //!< virtual finish time (bytes / weight)
         uint64_t slice_served = 0; //!< bytes served in the current slice
         SimTime last_busy = -1; //!< when the queue last had service

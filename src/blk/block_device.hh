@@ -16,7 +16,6 @@
 #ifndef ISOL_BLK_BLOCK_DEVICE_HH
 #define ISOL_BLK_BLOCK_DEVICE_HH
 
-#include <deque>
 #include <memory>
 
 #include "blk/bfq.hh"
@@ -27,6 +26,7 @@
 #include "blk/qos_latency.hh"
 #include "blk/qos_max.hh"
 #include "blk/request.hh"
+#include "common/ring.hh"
 #include "fault/fault.hh"
 #include "sim/invariants.hh"
 #include "sim/simulator.hh"
@@ -189,7 +189,7 @@ class BlockDevice
     std::unique_ptr<ssd::FifoServer> dispatch_lock_;
 
     SimTime dispatch_cost_ = 0;
-    std::deque<Request *> tag_wait_;
+    common::RingDeque<Request *> tag_wait_;
     uint32_t inflight_ = 0; //!< holding a tag (elevator + device)
     uint32_t dispatch_pending_ = 0;
     bool pumping_ = false;

@@ -11,11 +11,10 @@
 #ifndef ISOL_BLK_ELEVATOR_HH
 #define ISOL_BLK_ELEVATOR_HH
 
-#include <deque>
-#include <functional>
-
 #include "blk/request.hh"
+#include "common/ring.hh"
 #include "common/types.hh"
+#include "sim/small_function.hh"
 
 namespace isol::blk
 {
@@ -50,7 +49,7 @@ class Elevator
      * Register the callback the elevator uses to restart dispatching
      * after holding back requests (e.g. when an idle window expires).
      */
-    void setKick(std::function<void()> kick) { kick_ = std::move(kick); }
+    void setKick(sim::SmallCallback kick) { kick_ = std::move(kick); }
 
   protected:
     /** Restart the device dispatch loop. */
@@ -62,7 +61,7 @@ class Elevator
     }
 
   private:
-    std::function<void()> kick_;
+    sim::SmallCallback kick_;
 };
 
 /**
@@ -88,7 +87,7 @@ class NoneElevator : public Elevator
     size_t queued() const override { return fifo_.size(); }
 
   private:
-    std::deque<Request *> fifo_;
+    common::RingDeque<Request *> fifo_;
 };
 
 } // namespace isol::blk

@@ -23,11 +23,11 @@
 
 #include <array>
 #include <cstddef>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "blk/elevator.hh"
+#include "common/ring.hh"
 #include "sim/simulator.hh"
 
 namespace isol::blk
@@ -66,7 +66,7 @@ class Kyber : public Elevator
 
     struct DomainState
     {
-        std::deque<Request *> fifo;
+        common::RingDeque<Request *> fifo;
         uint32_t inflight = 0;
         /** Latency samples (completion - insert) this window. */
         std::vector<SimTime> window_lat;

@@ -20,9 +20,9 @@
 #define ISOL_BLK_MQ_DEADLINE_HH
 
 #include <array>
-#include <deque>
 
 #include "blk/elevator.hh"
+#include "common/ring.hh"
 #include "sim/simulator.hh"
 
 namespace isol::blk
@@ -65,7 +65,7 @@ class MqDeadline : public Elevator
 
     struct DirQueue
     {
-        std::deque<Pending> fifo;
+        common::RingDeque<Pending> fifo;
     };
 
     struct ClassQueues

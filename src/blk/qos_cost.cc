@@ -41,7 +41,7 @@ IoCostGate::stateFor(const cgroup::Cgroup *cg)
 }
 
 SimTime
-IoCostGate::absCost(const Request &req) const
+IoCostGate::absCost(OpType op, bool sequential, uint32_t size) const
 {
     // Kernel linear-model form (calc_lcoefs): the per-I/O coefficient is
     // the *residual* of the IOPS duty point above the per-page cost, so
@@ -51,18 +51,18 @@ IoCostGate::absCost(const Request &req) const
     const double page = 4096.0;
     double bps;
     uint64_t iops;
-    if (req.op == OpType::kRead) {
+    if (op == OpType::kRead) {
         bps = static_cast<double>(model.rbps);
-        iops = req.sequential ? model.rseqiops : model.rrandiops;
+        iops = sequential ? model.rseqiops : model.rrandiops;
     } else {
         bps = static_cast<double>(model.wbps);
-        iops = req.sequential ? model.wseqiops : model.wrandiops;
+        iops = sequential ? model.wseqiops : model.wrandiops;
     }
     double page_cost = page / bps;
     double io_resid =
         std::max(0.0, 1.0 / static_cast<double>(iops) - page_cost);
     double seconds =
-        static_cast<double>(req.size) / bps + io_resid;
+        static_cast<double>(size) / bps + io_resid;
     return static_cast<SimTime>(seconds * 1e9);
 }
 
@@ -195,12 +195,13 @@ IoCostGate::donateShares()
 }
 
 bool
-IoCostGate::tryCharge(CgState &st, Request *req)
+IoCostGate::tryCharge(CgState &st, OpType op, bool sequential,
+                      uint32_t size)
 {
     updateVnow();
     if (st.vtime < vnow_ - params_.credit_cap)
         st.vtime = vnow_ - params_.credit_cap;
-    double abs = static_cast<double>(absCost(*req));
+    double abs = static_cast<double>(absCost(op, sequential, size));
     double cost = abs / std::max(st.share, 1e-9);
     if (st.vtime + cost <= vnow_ + static_cast<double>(params_.margin)) {
         st.vtime += cost;
@@ -240,11 +241,12 @@ IoCostGate::submit(Request *req)
 {
     CgState &st = stateFor(req->cg);
     activate(st);
-    if (st.queue.empty() && tryCharge(st, req)) {
+    if (st.queue.empty() &&
+        tryCharge(st, req->op, req->sequential, req->size)) {
         pass_(req);
         return;
     }
-    st.queue.push_back(req);
+    st.queue.push_back(QEnt{req, req->op, req->sequential, req->size});
     ++throttled_;
     drain(st);
 }
@@ -257,15 +259,16 @@ IoCostGate::drain(CgState &st)
         st.wake_event = sim::kInvalidEventId;
     }
     while (!st.queue.empty()) {
-        Request *head = st.queue.front();
-        if (tryCharge(st, head)) {
+        const QEnt head = st.queue.front();
+        if (tryCharge(st, head.op, head.sequential, head.size)) {
             st.queue.pop_front();
             --throttled_;
-            pass_(head);
+            pass_(head.req);
             continue;
         }
         // Compute when the device clock will have advanced enough.
-        double cost = static_cast<double>(absCost(*head)) /
+        double cost = static_cast<double>(
+                          absCost(head.op, head.sequential, head.size)) /
                       std::max(st.share, 1e-9);
         double needed =
             st.vtime + cost - static_cast<double>(params_.margin) - vnow_;

@@ -39,6 +39,7 @@
 #include <unordered_map>
 
 #include "blk/request.hh"
+#include "common/ring.hh"
 #include "sim/simulator.hh"
 #include "stats/histogram.hh"
 
@@ -71,10 +72,10 @@ struct IoCostParams
 class IoCostGate
 {
   public:
-    using PassFn = std::function<void(Request *)>;
+    using PassFn = sim::SmallFunction<void(Request *)>;
     /** Charges CPU time and calls the continuation when it retires. */
     using CpuChargeFn =
-        std::function<void(SimTime, std::function<void()>)>;
+        sim::SmallFunction<void(SimTime, sim::SmallCallback)>;
 
     IoCostGate(sim::Simulator &sim, cgroup::DeviceId dev,
                cgroup::CgroupTree &tree, PassFn pass,
@@ -105,7 +106,17 @@ class IoCostGate
     double vrate() const { return vrate_; }
 
     /** Absolute cost of an I/O in device-ns under the current model. */
-    SimTime absCost(const Request &req) const;
+    SimTime absCost(const Request &req) const
+    {
+        return absCost(req.op, req.sequential, req.size);
+    }
+
+    /**
+     * Cost-model evaluation on the inline queue-entry fields. Always
+     * computed against the *live* model: io.cost.model can be rewritten
+     * at runtime, so costs are never cached at submit time.
+     */
+    SimTime absCost(OpType op, bool sequential, uint32_t size) const;
 
     /** Requests currently held back. */
     size_t throttled() const { return throttled_; }
@@ -117,6 +128,18 @@ class IoCostGate
     void setInvariants(sim::InvariantChecker *inv) { inv_ = inv; }
 
   private:
+    /**
+     * Queue entry with the cost-model inputs laid out inline: drain()
+     * evaluates the model per head scan without touching the Request.
+     */
+    struct QEnt
+    {
+        Request *req;
+        OpType op;
+        bool sequential;
+        uint32_t size;
+    };
+
     struct CgState
     {
         const cgroup::Cgroup *cg = nullptr;
@@ -126,7 +149,7 @@ class IoCostGate
         double period_abs = 0.0; //!< abs cost charged this period
         bool active = false;
         SimTime last_io = 0;
-        std::deque<Request *> queue;
+        common::RingDeque<QEnt> queue;
         sim::EventId wake_event = sim::kInvalidEventId;
     };
 
@@ -148,8 +171,8 @@ class IoCostGate
     /** Try to pass queued requests of one group; reschedule otherwise. */
     void drain(CgState &st);
 
-    /** Admission test + charge for one request. */
-    bool tryCharge(CgState &st, Request *req);
+    /** Admission test + charge for one (op, sequential, size) I/O. */
+    bool tryCharge(CgState &st, OpType op, bool sequential, uint32_t size);
 
     /** Period processing: deactivation, qos vrate scaling, re-drain. */
     void periodTick();

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "blk/request.hh"
+#include "common/ring.hh"
 #include "sim/simulator.hh"
 #include "stats/histogram.hh"
 
@@ -54,7 +55,7 @@ struct IoLatencyParams
 class IoLatencyGate
 {
   public:
-    using PassFn = std::function<void(Request *)>;
+    using PassFn = sim::SmallFunction<void(Request *)>;
 
     IoLatencyGate(sim::Simulator &sim, cgroup::DeviceId dev, PassFn pass,
                   IoLatencyParams params = {});
@@ -88,7 +89,7 @@ class IoLatencyGate
         uint32_t qd_limit = 0; //!< set from params at creation
         uint32_t use_delay = 0;
         stats::Histogram window_lat;
-        std::deque<Request *> queue;
+        common::RingDeque<Request *> queue;
     };
 
     CgState &stateFor(const cgroup::Cgroup *cg);

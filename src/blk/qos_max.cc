@@ -31,11 +31,13 @@ earnTime(uint64_t amount, uint64_t rate)
 } // namespace
 
 SimTime
-IoMaxGate::admissionTime(CgState &st, const Request &req) const
+IoMaxGate::admissionTime(CgState &st, const cgroup::Cgroup *cg, OpType op,
+                         uint32_t size) const
 {
-    if (req.cg == nullptr)
+    (void)size;
+    if (cg == nullptr)
         return sim_.now();
-    cgroup::IoMaxLimits limits = req.cg->ioMax(dev_);
+    cgroup::IoMaxLimits limits = cg->ioMax(dev_);
     if (limits.unlimited())
         return sim_.now();
 
@@ -49,7 +51,7 @@ IoMaxGate::admissionTime(CgState &st, const Request &req) const
         SimTime base = std::max(bucket.next_free, now - kSlice);
         when = std::max(when, base);
     };
-    bool read = req.op == OpType::kRead;
+    bool read = op == OpType::kRead;
     consider(read ? st.rbps : st.wbps, read ? limits.rbps : limits.wbps);
     consider(read ? st.riops : st.wiops,
              read ? limits.riops : limits.wiops);
@@ -57,11 +59,12 @@ IoMaxGate::admissionTime(CgState &st, const Request &req) const
 }
 
 void
-IoMaxGate::consume(CgState &st, const Request &req)
+IoMaxGate::consume(CgState &st, const cgroup::Cgroup *cg, OpType op,
+                   uint32_t size)
 {
-    if (req.cg == nullptr)
+    if (cg == nullptr)
         return;
-    cgroup::IoMaxLimits limits = req.cg->ioMax(dev_);
+    cgroup::IoMaxLimits limits = cg->ioMax(dev_);
     if (limits.unlimited())
         return;
     SimTime now = sim_.now();
@@ -72,7 +75,7 @@ IoMaxGate::consume(CgState &st, const Request &req)
         if (inv_ != nullptr) {
             inv_->require(bucket.next_free >= 0,
                           "io.max bucket non-negativity",
-                          strCat("cgroup '", req.cg->name(), "' ", dim,
+                          strCat("cgroup '", cg->name(), "' ", dim,
                                  " bucket horizon at ", bucket.next_free,
                                  " ns"));
         }
@@ -81,16 +84,16 @@ IoMaxGate::consume(CgState &st, const Request &req)
         if (inv_ != nullptr) {
             inv_->checkMonotonic(
                 &bucket, "io.max bucket monotonicity",
-                strCat("cgroup '", req.cg->name(), "' ", dim, " bucket"),
+                strCat("cgroup '", cg->name(), "' ", dim, " bucket"),
                 static_cast<double>(bucket.next_free));
         }
     };
-    bool read = req.op == OpType::kRead;
+    bool read = op == OpType::kRead;
     if (read) {
-        advance(st.rbps, "rbps", req.size, limits.rbps);
+        advance(st.rbps, "rbps", size, limits.rbps);
         advance(st.riops, "riops", 1, limits.riops);
     } else {
-        advance(st.wbps, "wbps", req.size, limits.wbps);
+        advance(st.wbps, "wbps", size, limits.wbps);
         advance(st.wiops, "wiops", 1, limits.wiops);
     }
     // Deliberate fault injection for the invariant checker's negative
@@ -106,19 +109,20 @@ IoMaxGate::submit(Request *req)
 {
     CgState &st = stateFor(req->cg);
     if (st.queue.empty()) {
-        SimTime when = admissionTime(st, *req);
+        SimTime when = admissionTime(st, req->cg, req->op, req->size);
         if (when <= sim_.now()) {
-            consume(st, *req);
+            consume(st, req->cg, req->op, req->size);
             pass_(req);
             return;
         }
     }
-    st.queue.push_back(req);
+    st.queue.push_back(QEnt{req, req->op, req->size});
     ++throttled_;
     if (!st.draining) {
         st.draining = true;
         const cgroup::Cgroup *cg = req->cg;
-        SimTime when = admissionTime(st, *st.queue.front());
+        const QEnt &head = st.queue.front();
+        SimTime when = admissionTime(st, cg, head.op, head.size);
         sim_.at(std::max(when, sim_.now()), [this, cg] { drain(cg); });
     }
 }
@@ -129,13 +133,13 @@ IoMaxGate::drain(const cgroup::Cgroup *cg)
     CgState &st = state_by_cg_[cg];
     st.draining = false;
     while (!st.queue.empty()) {
-        Request *head = st.queue.front();
-        SimTime when = admissionTime(st, *head);
+        const QEnt head = st.queue.front();
+        SimTime when = admissionTime(st, cg, head.op, head.size);
         if (when <= sim_.now()) {
-            consume(st, *head);
+            consume(st, cg, head.op, head.size);
             st.queue.pop_front();
             --throttled_;
-            pass_(head);
+            pass_(head.req);
             continue;
         }
         st.draining = true;

@@ -16,10 +16,10 @@
 #ifndef ISOL_BLK_QOS_MAX_HH
 #define ISOL_BLK_QOS_MAX_HH
 
-#include <deque>
 #include <unordered_map>
 
 #include "blk/request.hh"
+#include "common/ring.hh"
 #include "sim/simulator.hh"
 
 namespace isol::sim
@@ -37,7 +37,7 @@ class IoMaxGate
 {
   public:
     /** Passes a request deeper into the pipeline. */
-    using PassFn = std::function<void(Request *)>;
+    using PassFn = sim::SmallFunction<void(Request *)>;
 
     /**
      * @param sim simulator
@@ -76,26 +76,40 @@ class IoMaxGate
         SimTime next_free = 0;
     };
 
+    /**
+     * Queue entry with the admission-relevant fields laid out inline so
+     * drain scans never dereference the Request until it passes.
+     */
+    struct QEnt
+    {
+        Request *req;
+        OpType op;
+        uint32_t size;
+    };
+
     struct CgState
     {
         Bucket rbps;
         Bucket wbps;
         Bucket riops;
         Bucket wiops;
-        std::deque<Request *> queue;
+        common::RingDeque<QEnt> queue;
         bool draining = false;
     };
 
     CgState &stateFor(const cgroup::Cgroup *cg);
 
     /**
-     * Earliest time `req` may pass given the cgroup's current buckets
-     * (== now when it may pass immediately). Does not consume credit.
+     * Earliest time an (op, size) request from `cg` may pass given the
+     * cgroup's current buckets (== now when it may pass immediately).
+     * Does not consume credit.
      */
-    SimTime admissionTime(CgState &st, const Request &req) const;
+    SimTime admissionTime(CgState &st, const cgroup::Cgroup *cg, OpType op,
+                          uint32_t size) const;
 
     /** Consume bucket credit for an admitted request. */
-    void consume(CgState &st, const Request &req);
+    void consume(CgState &st, const cgroup::Cgroup *cg, OpType op,
+                 uint32_t size);
 
     /** Release queued requests whose time has come. */
     void drain(const cgroup::Cgroup *cg);

@@ -7,11 +7,11 @@
 #define ISOL_BLK_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "cgroup/cgroup.hh"
 #include "common/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/small_function.hh"
 
 namespace isol::blk
 {
@@ -61,7 +61,7 @@ struct Request
     SimTime dispatch_time = 0;
 
     /** Completion callback into the submitter. */
-    std::function<void(Request *)> on_complete;
+    sim::SmallFunction<void(Request *)> on_complete;
 
     /** Resolved I/O priority class (from the cgroup, at submit). */
     cgroup::PrioClass prio = cgroup::PrioClass::kNoChange;

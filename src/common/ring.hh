@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Power-of-two ring buffer deque for the DES hot path.
+ *
+ * The request pipeline uses FIFO queues everywhere (die queues, cgroup
+ * throttle queues, tag waiters). `std::deque` is the obvious container,
+ * but libstdc++'s deque allocates and frees 512-byte chunks as the
+ * head/tail cross chunk boundaries — a steady stream of heap traffic in
+ * exactly the push/pop pattern these queues live in. RingDeque keeps one
+ * contiguous power-of-two buffer, doubles it on overflow, and never
+ * shrinks, so a warmed-up queue performs zero allocations.
+ *
+ * Supports move-only element types. Indexing (operator[]) is relative to
+ * the front, so gate scans can walk the queue without pointer chasing.
+ */
+
+#ifndef ISOL_COMMON_RING_HH
+#define ISOL_COMMON_RING_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace isol::common
+{
+
+/**
+ * Growable circular FIFO. Capacity is always a power of two; elements
+ * are stored in raw slots and constructed/destroyed on push/pop.
+ */
+template <typename T>
+class RingDeque
+{
+  public:
+    RingDeque() = default;
+    RingDeque(const RingDeque &) = delete;
+    RingDeque &operator=(const RingDeque &) = delete;
+
+    RingDeque(RingDeque &&other) noexcept { swap(other); }
+
+    RingDeque &
+    operator=(RingDeque &&other) noexcept
+    {
+        if (this != &other) {
+            clearAndFree();
+            swap(other);
+        }
+        return *this;
+    }
+
+    ~RingDeque() { clearAndFree(); }
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    size_t capacity() const { return cap_; }
+
+    /** Element `i` positions behind the front (0 = front). */
+    T &operator[](size_t i) { return *slot((head_ + i) & mask()); }
+    const T &
+    operator[](size_t i) const
+    {
+        return *slot((head_ + i) & mask());
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[size_ - 1]; }
+    const T &back() const { return (*this)[size_ - 1]; }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == cap_)
+            grow();
+        ::new (static_cast<void *>(slot((head_ + size_) & mask())))
+            T(std::move(value));
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        if (size_ == 0)
+            panic("RingDeque::pop_front: empty");
+        slot(head_)->~T();
+        head_ = (head_ + 1) & mask();
+        --size_;
+    }
+
+    void
+    pop_back()
+    {
+        if (size_ == 0)
+            panic("RingDeque::pop_back: empty");
+        slot((head_ + size_ - 1) & mask())->~T();
+        --size_;
+    }
+
+    /** Destroy all elements; capacity is retained. */
+    void
+    clear()
+    {
+        while (size_ > 0)
+            pop_front();
+        head_ = 0;
+    }
+
+  private:
+    size_t mask() const { return cap_ - 1; }
+
+    T *
+    slot(size_t i)
+    {
+        return reinterpret_cast<T *>(buf_ + i * sizeof(T));
+    }
+
+    const T *
+    slot(size_t i) const
+    {
+        return reinterpret_cast<const T *>(buf_ + i * sizeof(T));
+    }
+
+    void
+    grow()
+    {
+        size_t new_cap = cap_ == 0 ? 16 : cap_ * 2;
+        auto *raw = static_cast<unsigned char *>(::operator new[](
+            sizeof(T) * new_cap, std::align_val_t{alignof(T)}));
+        for (size_t i = 0; i < size_; ++i) {
+            T *src = slot((head_ + i) & mask());
+            ::new (static_cast<void *>(raw + i * sizeof(T)))
+                T(std::move(*src));
+            src->~T();
+        }
+        if (buf_ != nullptr)
+            ::operator delete[](buf_, std::align_val_t{alignof(T)});
+        buf_ = raw;
+        cap_ = new_cap;
+        head_ = 0;
+    }
+
+    void
+    clearAndFree()
+    {
+        clear();
+        if (buf_ != nullptr) {
+            ::operator delete[](buf_, std::align_val_t{alignof(T)});
+            buf_ = nullptr;
+            cap_ = 0;
+        }
+    }
+
+    void
+    swap(RingDeque &other) noexcept
+    {
+        std::swap(buf_, other.buf_);
+        std::swap(cap_, other.cap_);
+        std::swap(head_, other.head_);
+        std::swap(size_, other.size_);
+    }
+
+    unsigned char *buf_ = nullptr;
+    size_t cap_ = 0;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace isol::common
+
+#endif // ISOL_COMMON_RING_HH

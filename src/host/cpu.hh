@@ -17,7 +17,6 @@
 #define ISOL_HOST_CPU_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -52,7 +51,7 @@ class CpuCore
      * work retires. Returns the retire time.
      */
     SimTime
-    charge(TaskId owner, SimTime duration, std::function<void()> done)
+    charge(TaskId owner, SimTime duration, sim::SmallCallback done)
     {
         if (duration < 0)
             panic("CpuCore::charge: negative duration");

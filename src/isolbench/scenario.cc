@@ -158,7 +158,7 @@ Scenario::buildDevices()
             if (cfg_.iocost_timer_on_cpu) {
                 host::CpuCore &core = cpus_->core(0);
                 bdev->setTimerCpuCharge(
-                    [&core](SimTime work, std::function<void()> done) {
+                    [&core](SimTime work, sim::SmallCallback done) {
                         core.charge(host::kKernelTask, work,
                                     std::move(done));
                     });

@@ -5,21 +5,37 @@
  * Events are (time, sequence, callback) triples ordered by time and, for
  * equal times, by insertion order so simulations are fully deterministic.
  *
- * Layout: a 4-ary heap of (when, seq, slot) keys over a slot arena that
- * owns the callbacks. Slots carry generation tags, so an EventId is
- * (slot, generation) and cancellation is O(1): validate the tag, destroy
- * the callback in place, and let the dead heap key fall out lazily at the
- * top. There is no side table — cancelling an id that already fired is a
- * tag mismatch, not a leaked marker — and `size()` is an exact live
- * count. The 4-ary shape halves tree depth versus the binary
- * `std::priority_queue` it replaced and keeps comparisons inside one
- * cache line per level; callbacks use SmallCallback so the pointer+id
+ * Layout: a hierarchical timing wheel (6 levels x 64 slots, 1 ns tick,
+ * ~68.7 s span) over a slot arena that owns the callbacks, with a 4-ary
+ * heap as an overflow ladder for events beyond the wheel horizon (or
+ * behind the cursor). Schedule and cancel are O(1); pop is amortised O(1)
+ * for the clustered short-horizon timers that dominate this DES. Wheel
+ * buckets are intrusive singly-linked lists through the arena, with one
+ * 64-bit occupancy bitmap per level, so finding the next bucket is a
+ * couple of ctz instructions.
+ *
+ * Determinism: a cascade can interleave entries out of sequence order
+ * inside a bucket, so buckets are never trusted for ties. Instead the
+ * minimum bucket is drained into a `ready_` list sorted by sequence
+ * number, and pop/nextTime always compare the ready head against the
+ * ladder top with the full (when, seq) key. The observable pop order is
+ * therefore exactly the (when, seq) order of the old comparison-based
+ * queue, byte for byte.
+ *
+ * Slots carry generation tags, so an EventId is (slot, generation) and
+ * cancellation is O(1): validate the tag, destroy the callback in place,
+ * and let the dead entry fall out lazily when its bucket or heap key is
+ * next visited. There is no side table — cancelling an id that already
+ * fired is a tag mismatch, not a leaked marker — and `size()` is an
+ * exact live count. Callbacks use SmallCallback so the pointer+id
  * captures the simulator schedules by the million never allocate.
  */
 
 #ifndef ISOL_SIM_EVENT_QUEUE_HH
 #define ISOL_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -40,7 +56,11 @@ constexpr EventId kInvalidEventId = 0;
  * Time-ordered event queue with deterministic tie-breaking.
  *
  * The queue owns no notion of "now"; the Simulator drives it and maintains
- * the clock.
+ * the clock. The wheel keeps its own cursor, which only ever trails the
+ * simulator clock: it advances to the time of the earliest live event
+ * during settle(), so an event scheduled "in the past" relative to the
+ * cursor (possible only through direct EventQueue use in tests) is routed
+ * to the ladder and still pops in exact (when, seq) order.
  */
 class EventQueue
 {
@@ -55,22 +75,17 @@ class EventQueue
     EventId
     schedule(SimTime when, Callback cb)
     {
-        uint32_t slot;
-        if (!free_.empty()) {
-            slot = free_.back();
-            free_.pop_back();
-        } else {
-            slot = static_cast<uint32_t>(slots_.size());
-            slots_.emplace_back();
-        }
+        uint32_t slot = allocSlot();
         Slot &s = slots_[slot];
         s.cb = std::move(cb);
+        s.when = when;
+        s.seq = next_seq_++;
+        s.next = kNoSlot;
         s.state = State::kPending;
-        heap_.push_back(Key{when, next_seq_++, slot});
-        siftUp(heap_.size() - 1);
+        place(slot, when);
         ++live_;
-        if (heap_.size() > peak_depth_)
-            peak_depth_ = heap_.size();
+        if (live_ > peak_depth_)
+            peak_depth_ = live_;
         return makeId(slot, s.gen);
     }
 
@@ -89,8 +104,8 @@ class EventQueue
         Slot &s = slots_[slot];
         if (s.state != State::kPending || s.gen != gen)
             return false;
-        // Destroy the callback now (releases captures); the heap key is
-        // dropped lazily when it surfaces at the top.
+        // Destroy the callback now (releases captures); the bucket entry
+        // or ladder key is dropped lazily when it is next visited.
         s.cb.reset();
         s.state = State::kCancelled;
         ++s.gen; // a second cancel with the same id mismatches
@@ -108,8 +123,14 @@ class EventQueue
     SimTime
     nextTime() const
     {
-        skipCancelled();
-        return live_ == 0 ? kSimTimeMax : heap_.front().when;
+        if (live_ == 0)
+            return kSimTimeMax;
+        // Logically const: the set of live events is unchanged; settling
+        // only reorganises storage (cursor advance, cascades, lazy frees).
+        auto *self = const_cast<EventQueue *>(this);
+        return self->settle() == Source::kReady
+                   ? self->slots_[self->ready_[self->ready_head_]].when
+                   : self->ladder_.front().when;
     }
 
     /**
@@ -119,23 +140,49 @@ class EventQueue
     std::pair<SimTime, Callback>
     pop()
     {
-        skipCancelled();
-        const Key top = heap_.front();
-        Slot &s = slots_[top.slot];
-        std::pair<SimTime, Callback> out{top.when, std::move(s.cb)};
-        freeSlot(top.slot);
-        removeTop();
+        if (settle() == Source::kLadder) {
+            const Key top = ladder_.front();
+            Slot &s = slots_[top.slot];
+            std::pair<SimTime, Callback> out{top.when, std::move(s.cb)};
+            freeSlot(top.slot);
+            ladderRemoveTop();
+            --live_;
+            return out;
+        }
+        uint32_t slot = ready_[ready_head_++];
+        Slot &s = slots_[slot];
+        std::pair<SimTime, Callback> out{s.when, std::move(s.cb)};
+        freeSlot(slot);
         --live_;
         return out;
     }
 
-    /** High-water mark of pending events (profiling). */
+    /** High-water mark of live pending events (profiling). */
     size_t peakDepth() const { return peak_depth_; }
 
   private:
     enum class State : uint8_t { kFree, kPending, kCancelled };
 
-    /** Heap key; comparisons never touch the slot arena. */
+    /** Where settle() found the earliest live event. */
+    enum class Source : uint8_t { kReady, kLadder };
+
+    static constexpr int kLevelBits = 6; //!< 64 slots per level
+    static constexpr int kLevels = 6; //!< span 64^6 ns ~= 68.7 s
+    static constexpr uint32_t kSlotsPerLevel = 1u << kLevelBits;
+    static constexpr uint32_t kSlotMask = kSlotsPerLevel - 1;
+    static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+    struct Slot
+    {
+        Callback cb;
+        SimTime when = 0;
+        uint64_t seq = 0;
+        uint32_t next = kNoSlot; //!< intrusive bucket link
+        uint32_t gen = 0;
+        State state = State::kFree;
+    };
+
+    /** Overflow-ladder key; comparisons never touch the slot arena. */
     struct Key
     {
         SimTime when;
@@ -143,11 +190,10 @@ class EventQueue
         uint32_t slot;
     };
 
-    struct Slot
+    struct Bucket
     {
-        Callback cb;
-        uint32_t gen = 0;
-        State state = State::kFree;
+        uint32_t head = kNoSlot;
+        uint32_t tail = kNoSlot;
     };
 
     static EventId
@@ -174,25 +220,97 @@ class EventQueue
         return a.when != b.when ? a.when < b.when : a.seq < b.seq;
     }
 
-    void
-    siftUp(size_t i)
+    /**
+     * Wheel level for an event at `when` given the cursor: the index of
+     * the highest differing bit, divided by the per-level shift. kLevels
+     * and above means "beyond the horizon" (ladder). Precondition:
+     * when >= cur_ (both non-negative, so the casts are value-preserving).
+     */
+    int
+    levelFor(SimTime when) const
     {
-        Key key = heap_[i];
-        while (i > 0) {
-            size_t parent = (i - 1) / 4;
-            if (!before(key, heap_[parent]))
-                break;
-            heap_[i] = heap_[parent];
-            i = parent;
+        uint64_t diff =
+            static_cast<uint64_t>(when) ^ static_cast<uint64_t>(cur_);
+        if (diff == 0)
+            return 0;
+        return (63 - std::countl_zero(diff)) / kLevelBits;
+    }
+
+    uint32_t
+    allocSlot()
+    {
+        if (!free_.empty()) {
+            uint32_t slot = free_.back();
+            free_.pop_back();
+            return slot;
         }
-        heap_[i] = key;
+        auto slot = static_cast<uint32_t>(slots_.size());
+        slots_.emplace_back();
+        return slot;
     }
 
     void
-    siftDown(size_t i)
+    freeSlot(uint32_t slot)
     {
-        Key key = heap_[i];
-        size_t n = heap_.size();
+        Slot &s = slots_[slot];
+        s.cb.reset();
+        s.state = State::kFree;
+        ++s.gen; // fired/cleaned ids mismatch from now on
+        s.next = kNoSlot;
+        free_.push_back(slot);
+    }
+
+    /** File `slot` into the wheel or, past the horizon, the ladder. */
+    void
+    place(uint32_t slot, SimTime when)
+    {
+        if (when < cur_) {
+            ladderPush(Key{when, slots_[slot].seq, slot});
+            return;
+        }
+        int level = levelFor(when);
+        if (level >= kLevels) {
+            ladderPush(Key{when, slots_[slot].seq, slot});
+            return;
+        }
+        uint32_t b = static_cast<uint32_t>(static_cast<uint64_t>(when) >>
+                                           (kLevelBits * level)) &
+                     kSlotMask;
+        Bucket &bucket = buckets_[level][b];
+        slots_[slot].next = kNoSlot;
+        if (bucket.head == kNoSlot)
+            bucket.head = slot;
+        else
+            slots_[bucket.tail].next = slot;
+        bucket.tail = slot;
+        occ_[level] |= uint64_t{1} << b;
+    }
+
+    void
+    ladderPush(Key key)
+    {
+        ladder_.push_back(key);
+        size_t i = ladder_.size() - 1;
+        while (i > 0) {
+            size_t parent = (i - 1) / 4;
+            if (!before(key, ladder_[parent]))
+                break;
+            ladder_[i] = ladder_[parent];
+            i = parent;
+        }
+        ladder_[i] = key;
+    }
+
+    void
+    ladderRemoveTop()
+    {
+        ladder_.front() = ladder_.back();
+        ladder_.pop_back();
+        if (ladder_.empty())
+            return;
+        Key key = ladder_.front();
+        size_t i = 0;
+        size_t n = ladder_.size();
         for (;;) {
             size_t first = i * 4 + 1;
             if (first >= n)
@@ -200,56 +318,222 @@ class EventQueue
             size_t best = first;
             size_t last = first + 4 < n ? first + 4 : n;
             for (size_t c = first + 1; c < last; ++c) {
-                if (before(heap_[c], heap_[best]))
+                if (before(ladder_[c], ladder_[best]))
                     best = c;
             }
-            if (!before(heap_[best], key))
+            if (!before(ladder_[best], key))
                 break;
-            heap_[i] = heap_[best];
+            ladder_[i] = ladder_[best];
             i = best;
         }
-        heap_[i] = key;
+        ladder_[i] = key;
     }
 
+    /** Drop cancelled keys sitting at the top of the ladder. */
     void
-    removeTop()
+    stripLadder()
     {
-        heap_.front() = heap_.back();
-        heap_.pop_back();
-        if (!heap_.empty())
-            siftDown(0);
+        while (!ladder_.empty()) {
+            Slot &s = slots_[ladder_.front().slot];
+            if (s.state == State::kPending)
+                break;
+            freeSlot(ladder_.front().slot);
+            ladderRemoveTop();
+        }
     }
 
+    /** Advance the ready cursor over entries cancelled since the drain. */
     void
-    freeSlot(uint32_t slot)
+    stripReady()
     {
-        Slot &s = slots_[slot];
-        s.state = State::kFree;
-        ++s.gen; // fired/cleaned ids mismatch from now on
-        free_.push_back(slot);
+        while (ready_head_ < ready_.size()) {
+            uint32_t slot = ready_[ready_head_];
+            if (slots_[slot].state == State::kPending)
+                break;
+            freeSlot(slot);
+            ++ready_head_;
+        }
+        if (ready_head_ == ready_.size()) {
+            ready_.clear();
+            ready_head_ = 0;
+        }
     }
 
     /**
-     * Drop cancelled keys sitting at the top of the heap. Logically const
-     * (the set of live events is unchanged), so the lazy cleanup may run
-     * from const observers like nextTime().
+     * Move ladder entries that the advancing cursor brought inside the
+     * wheel horizon back into the wheel (promotion). Entries behind the
+     * cursor stay on the ladder and win pops via the (when, seq) compare.
      */
     void
-    skipCancelled() const
+    promoteLadder()
     {
-        auto *self = const_cast<EventQueue *>(this);
-        while (!self->heap_.empty()) {
-            Slot &s = self->slots_[self->heap_.front().slot];
-            if (s.state != State::kCancelled)
+        for (;;) {
+            stripLadder();
+            if (ladder_.empty())
                 break;
-            self->freeSlot(self->heap_.front().slot);
-            self->removeTop();
+            const Key top = ladder_.front();
+            if (top.when < cur_ || levelFor(top.when) >= kLevels)
+                break;
+            ladderRemoveTop();
+            place(top.slot, top.when);
         }
     }
 
-    std::vector<Key> heap_;
+    /**
+     * Find the lowest-level, lowest-index bucket holding a live entry,
+     * purging dead-only buckets on the way. Live entries at one level all
+     * share the enclosing higher-level window, so slot order is time
+     * order and the first live bucket holds the wheel minimum.
+     */
+    bool
+    findMinBucket(int &level_out, uint32_t &bucket_out)
+    {
+        for (int level = 0; level < kLevels; ++level) {
+            uint64_t occ = occ_[level];
+            while (occ != 0) {
+                auto b = static_cast<uint32_t>(std::countr_zero(occ));
+                if (compactBucket(level, b)) {
+                    level_out = level;
+                    bucket_out = b;
+                    return true;
+                }
+                occ &= occ - 1;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Free cancelled entries in a bucket, relinking the survivors. Clears
+     * the occupancy bit and returns false when nothing live remains.
+     */
+    bool
+    compactBucket(int level, uint32_t b)
+    {
+        Bucket &bucket = buckets_[level][b];
+        uint32_t head = kNoSlot;
+        uint32_t tail = kNoSlot;
+        uint32_t it = bucket.head;
+        while (it != kNoSlot) {
+            uint32_t next = slots_[it].next;
+            if (slots_[it].state == State::kPending) {
+                slots_[it].next = kNoSlot;
+                if (head == kNoSlot)
+                    head = it;
+                else
+                    slots_[tail].next = it;
+                tail = it;
+            } else {
+                freeSlot(it);
+            }
+            it = next;
+        }
+        bucket.head = head;
+        bucket.tail = tail;
+        if (head == kNoSlot) {
+            occ_[level] &= ~(uint64_t{1} << b);
+            return false;
+        }
+        return true;
+    }
+
+    /**
+     * Drain the minimum bucket: advance the cursor to its earliest live
+     * time, move that time's entries (sequence-sorted) into `ready_`, and
+     * cascade the rest down by re-placing them against the new cursor.
+     * Re-placement always lands strictly below `level` — an entry sharing
+     * the minimum's level-`level` digit differs from it only in lower
+     * bits. Precondition: compactBucket(level, b) just returned true.
+     */
+    void
+    drainMinBucket(int level, uint32_t b)
+    {
+        Bucket &bucket = buckets_[level][b];
+        uint32_t head = bucket.head;
+        bucket.head = kNoSlot;
+        bucket.tail = kNoSlot;
+        occ_[level] &= ~(uint64_t{1} << b);
+
+        SimTime min_when = slots_[head].when;
+        for (uint32_t it = slots_[head].next; it != kNoSlot;
+             it = slots_[it].next) {
+            if (slots_[it].when < min_when)
+                min_when = slots_[it].when;
+        }
+        if (min_when > cur_)
+            cur_ = min_when;
+
+        uint32_t it = head;
+        while (it != kNoSlot) {
+            uint32_t next = slots_[it].next;
+            slots_[it].next = kNoSlot;
+            if (slots_[it].when == min_when)
+                ready_.push_back(it);
+            else
+                place(it, slots_[it].when);
+            it = next;
+        }
+        std::sort(ready_.begin(), ready_.end(),
+                  [this](uint32_t a, uint32_t b2) {
+                      return slots_[a].seq < slots_[b2].seq;
+                  });
+    }
+
+    /**
+     * Bring the queue to a poppable state and report where the earliest
+     * live event sits. Precondition: live_ > 0. Amortised O(1): each
+     * event cascades at most kLevels times over its lifetime, and dead
+     * entries are freed the first time a scan meets them.
+     */
+    Source
+    settle()
+    {
+        for (;;) {
+            stripReady();
+            stripLadder();
+            if (ready_head_ < ready_.size()) {
+                // Entries scheduled after the drain share this `when`
+                // only with larger seq, and live wheel entries are never
+                // earlier than the drained minimum, so only the ladder
+                // (events behind the cursor) can beat the ready head.
+                if (ladder_.empty())
+                    return Source::kReady;
+                const Slot &rf = slots_[ready_[ready_head_]];
+                return before(ladder_.front(),
+                              Key{rf.when, rf.seq, 0})
+                           ? Source::kLadder
+                           : Source::kReady;
+            }
+            promoteLadder();
+            int level;
+            uint32_t b;
+            if (findMinBucket(level, b)) {
+                // A surviving ladder top is either behind the cursor
+                // (wins by time) or beyond the horizon (loses to any
+                // wheel entry); promoteLadder() left nothing in between.
+                if (!ladder_.empty() && ladder_.front().when < cur_)
+                    return Source::kLadder;
+                drainMinBucket(level, b);
+                continue;
+            }
+            // Wheel empty: the earliest live event is on the ladder.
+            if (ladder_.front().when <= cur_)
+                return Source::kLadder;
+            // Jump the cursor to it and pull it (and its when-group)
+            // into the wheel so bucket bookkeeping stays in one place.
+            cur_ = ladder_.front().when;
+            promoteLadder();
+        }
+    }
+
+    Bucket buckets_[kLevels][kSlotsPerLevel];
+    uint64_t occ_[kLevels] = {};
     std::vector<Slot> slots_;
     std::vector<uint32_t> free_;
+    std::vector<Key> ladder_; //!< 4-ary heap: far-future / behind-cursor
+    std::vector<uint32_t> ready_; //!< current when-group, seq-sorted
+    size_t ready_head_ = 0;
+    SimTime cur_ = 0; //!< wheel cursor; trails the earliest live event
     uint64_t next_seq_ = 0;
     size_t live_ = 0;
     size_t peak_depth_ = 0;

@@ -195,7 +195,7 @@ class PeriodicTimer
      * @param period interval between firings (must be > 0)
      * @param cb invoked once per period
      */
-    PeriodicTimer(Simulator &sim, SimTime period, std::function<void()> cb)
+    PeriodicTimer(Simulator &sim, SimTime period, SmallCallback cb)
         : sim_(sim), period_(period), cb_(std::move(cb))
     {
         if (period_ <= 0)
@@ -246,7 +246,7 @@ class PeriodicTimer
 
     Simulator &sim_;
     SimTime period_;
-    std::function<void()> cb_;
+    SmallCallback cb_;
     bool running_ = false;
     EventId pending_ = kInvalidEventId;
 };

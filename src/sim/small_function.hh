@@ -4,11 +4,12 @@
  *
  * `std::function` only stores two machine words inline (libstdc++), so
  * the pointer+id+index captures that simulator components schedule by the
- * million spill to the heap. SmallCallback keeps a 48-byte inline buffer —
+ * million spill to the heap. SmallFunction keeps a 48-byte inline buffer —
  * enough for every capture in the tree (a `this` pointer, a request
  * pointer, an id, and change) — and falls back to the heap only for
  * oversized or throwing-move callables, so scheduling stays allocation
- * free in practice.
+ * free in practice. `SmallCallback` is the ubiquitous `void()` alias;
+ * the block layer uses `SmallFunction<void(Request *)>` for completions.
  */
 
 #ifndef ISOL_SIM_SMALL_FUNCTION_HH
@@ -22,22 +23,25 @@
 namespace isol::sim
 {
 
-/** Move-only `void()` callable with a 48-byte inline buffer. */
-class SmallCallback
+template <typename Sig> class SmallFunction;
+
+/** Move-only `R(Args...)` callable with a 48-byte inline buffer. */
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)>
 {
   public:
     /** Inline storage size; callables up to this size never allocate. */
     static constexpr size_t kInlineBytes = 48;
 
-    SmallCallback() noexcept = default;
-    SmallCallback(std::nullptr_t) noexcept {}
+    SmallFunction() noexcept = default;
+    SmallFunction(std::nullptr_t) noexcept {}
 
     template <typename F,
               typename D = std::decay_t<F>,
               typename = std::enable_if_t<
-                  !std::is_same_v<D, SmallCallback> &&
-                  std::is_invocable_r_v<void, D &>>>
-    SmallCallback(F &&fn)
+                  !std::is_same_v<D, SmallFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    SmallFunction(F &&fn)
     {
         if constexpr (fitsInline<D>()) {
             ::new (storage()) D(std::forward<F>(fn));
@@ -49,10 +53,10 @@ class SmallCallback
         }
     }
 
-    SmallCallback(SmallCallback &&other) noexcept { moveFrom(other); }
+    SmallFunction(SmallFunction &&other) noexcept { moveFrom(other); }
 
-    SmallCallback &
-    operator=(SmallCallback &&other) noexcept
+    SmallFunction &
+    operator=(SmallFunction &&other) noexcept
     {
         if (this != &other) {
             reset();
@@ -61,10 +65,10 @@ class SmallCallback
         return *this;
     }
 
-    SmallCallback(const SmallCallback &) = delete;
-    SmallCallback &operator=(const SmallCallback &) = delete;
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
 
-    ~SmallCallback() { reset(); }
+    ~SmallFunction() { reset(); }
 
     /** Drop the held callable (frees captured resources). */
     void
@@ -78,16 +82,16 @@ class SmallCallback
 
     explicit operator bool() const noexcept { return ops_ != nullptr; }
 
-    void
-    operator()()
+    R
+    operator()(Args... args)
     {
-        ops_->invoke(storage());
+        return ops_->invoke(storage(), std::forward<Args>(args)...);
     }
 
   private:
     struct Ops
     {
-        void (*invoke)(void *self);
+        R (*invoke)(void *self, Args &&...args);
         void (*move)(void *self, void *dst) noexcept;
         void (*destroy)(void *self) noexcept;
     };
@@ -103,7 +107,10 @@ class SmallCallback
 
     template <typename D>
     static constexpr Ops inlineOps = {
-        [](void *self) { (*static_cast<D *>(self))(); },
+        [](void *self, Args &&...args) -> R {
+            return (*static_cast<D *>(self))(
+                std::forward<Args>(args)...);
+        },
         [](void *self, void *dst) noexcept {
             ::new (dst) D(std::move(*static_cast<D *>(self)));
             static_cast<D *>(self)->~D();
@@ -113,7 +120,10 @@ class SmallCallback
 
     template <typename D>
     static constexpr Ops heapOps = {
-        [](void *self) { (**static_cast<D **>(self))(); },
+        [](void *self, Args &&...args) -> R {
+            return (**static_cast<D **>(self))(
+                std::forward<Args>(args)...);
+        },
         [](void *self, void *dst) noexcept {
             *static_cast<D **>(dst) = *static_cast<D **>(self);
         },
@@ -123,7 +133,7 @@ class SmallCallback
     void *storage() noexcept { return buf_; }
 
     void
-    moveFrom(SmallCallback &other) noexcept
+    moveFrom(SmallFunction &other) noexcept
     {
         ops_ = other.ops_;
         if (ops_ != nullptr) {
@@ -135,6 +145,9 @@ class SmallCallback
     alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
     const Ops *ops_ = nullptr;
 };
+
+/** The ubiquitous event-queue callback type. */
+using SmallCallback = SmallFunction<void()>;
 
 } // namespace isol::sim
 

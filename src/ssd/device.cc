@@ -120,8 +120,7 @@ SsdDevice::writePressure() const
 }
 
 void
-SsdDevice::dieRead(uint32_t die, SimTime service,
-                   std::function<void()> done)
+SsdDevice::dieRead(uint32_t die, SimTime service, Callback done)
 {
     dies_[die].reads.push_back(
         DieQueue::Op{service, std::move(done)});
@@ -129,8 +128,7 @@ SsdDevice::dieRead(uint32_t die, SimTime service,
 }
 
 void
-SsdDevice::dieWrite(uint32_t die, SimTime service,
-                    std::function<void()> done)
+SsdDevice::dieWrite(uint32_t die, SimTime service, Callback done)
 {
     dies_[die].write_path.push_back(
         DieQueue::Op{service, std::move(done)});
@@ -175,8 +173,13 @@ SsdDevice::pumpDie(uint32_t die)
     q.busy = true;
     q.busy_ns += op.service;
     ++q.jobs;
-    sim_.after(op.service, [this, die, done = std::move(op.done)] {
-        dies_[die].busy = false;
+    // Parking the completion on the die (instead of capturing it) keeps
+    // the event capture at two words — inside the inline buffer.
+    q.active_done = std::move(op.done);
+    sim_.after(op.service, [this, die] {
+        DieQueue &dq = dies_[die];
+        dq.busy = false;
+        Callback done = std::move(dq.active_done);
         done();
         pumpDie(die);
     });
@@ -206,10 +209,12 @@ SsdDevice::submitFlashRead(uint64_t offset, uint32_t size, Callback done)
 {
     uint64_t first = offset / cfg_.page_size;
     uint64_t last = (offset + size - 1) / cfg_.page_size;
-    // shared_ptr so I/O cut off by the end of the simulation (its events
-    // destroyed unfired) still releases the completion state.
-    auto state = std::shared_ptr<ReadState>(new ReadState{
-        static_cast<uint32_t>(last - first + 1), size, std::move(done)});
+    // Arena slot; the arena also owns slots whose I/O was cut off by the
+    // end of the simulation (their events destroyed unfired).
+    ReadState *state = read_states_.acquire();
+    state->remaining = static_cast<uint32_t>(last - first + 1);
+    state->size = size;
+    state->done = std::move(done);
 
     for (uint64_t lpn = first; lpn <= last; ++lpn) {
         PhysLoc loc = ftl_.lookupRead(lpn);
@@ -235,19 +240,18 @@ SsdDevice::submitFlashRead(uint64_t offset, uint32_t size, Callback done)
 }
 
 void
-SsdDevice::finishRead(const std::shared_ptr<ReadState> &state)
+SsdDevice::finishRead(ReadState *state)
 {
     // The controller latency is per-request pipeline latency, not link
     // occupancy: completion fires controller_latency after the DMA, but
     // the link is free for the next transfer immediately.
     SimTime xfer = transferTime(state->size, cfg_.link_bw);
-    uint32_t size = state->size;
-    Callback done = std::move(state->done);
-    link_.enqueue(xfer, [this, size, done = std::move(done)]() mutable {
-        sim_.after(cfg_.controller_latency,
-                   [this, size, done = std::move(done)] {
-            bytes_read_ += size;
+    link_.enqueue(xfer, [this, state] {
+        sim_.after(cfg_.controller_latency, [this, state] {
+            bytes_read_ += state->size;
             ++reads_completed_;
+            Callback done = std::move(state->done);
+            read_states_.release(state);
             done();
         });
     });
@@ -260,18 +264,20 @@ SsdDevice::submitFlashWrite(uint64_t offset, uint32_t size, Callback done)
 {
     uint64_t first = offset / cfg_.page_size;
     uint64_t last = (offset + size - 1) / cfg_.page_size;
-    WriteAdmit admit;
-    admit.lpns.reserve(last - first + 1);
+    // A recycled admit keeps its lpns capacity: zero allocations once
+    // the pool and vectors are warm.
+    WriteAdmit *admit = write_admits_.acquire();
+    admit->lpns.clear();
+    admit->lpns.reserve(last - first + 1);
     for (uint64_t lpn = first; lpn <= last; ++lpn)
-        admit.lpns.push_back(lpn);
-    admit.size = size;
-    admit.done = std::move(done);
+        admit->lpns.push_back(lpn);
+    admit->size = size;
+    admit->done = std::move(done);
 
     SimTime xfer = transferTime(size, cfg_.link_bw);
-    auto boxed = std::make_shared<WriteAdmit>(std::move(admit));
-    link_.enqueue(xfer, [this, boxed] {
-        sim_.after(cfg_.controller_latency, [this, boxed] {
-            cache_wait_.push_back(std::move(*boxed));
+    link_.enqueue(xfer, [this, admit] {
+        sim_.after(cfg_.controller_latency, [this, admit] {
+            cache_wait_.push_back(admit);
             tryAdmitWrites();
         });
     });
@@ -281,33 +287,35 @@ void
 SsdDevice::tryAdmitWrites()
 {
     while (!cache_wait_.empty()) {
-        WriteAdmit &head = cache_wait_.front();
-        uint32_t pages = static_cast<uint32_t>(head.lpns.size());
+        WriteAdmit *head = cache_wait_.front();
+        uint32_t pages = static_cast<uint32_t>(head->lpns.size());
         uint32_t capacity = std::max<uint32_t>(cfg_.write_cache_pages, 1);
         if (cache_used_ + pages > capacity && cache_used_ > 0)
             return; // wait for cache slots (oversized writes admit alone)
-        WriteAdmit admit = std::move(head);
         cache_wait_.pop_front();
-        admitWrite(std::move(admit));
+        admitWrite(head);
     }
 }
 
 void
-SsdDevice::admitWrite(WriteAdmit &&admit)
+SsdDevice::admitWrite(WriteAdmit *admit)
 {
-    cache_used_ += static_cast<uint32_t>(admit.lpns.size());
-    bytes_written_ += admit.size;
+    cache_used_ += static_cast<uint32_t>(admit->lpns.size());
+    bytes_written_ += admit->size;
     ++writes_completed_;
-    // Host-visible completion: data is in the device write cache.
-    admit.done();
+    // Host-visible completion: data is in the device write cache. Move
+    // the callback out first — it may submit and recycle pool slots.
+    Callback done = std::move(admit->done);
+    done();
 
-    for (uint64_t lpn : admit.lpns) {
+    for (uint64_t lpn : admit->lpns) {
         // The cached copy supersedes flash: free the old page for GC now.
         ftl_.noteOverwrite(lpn);
         uint32_t die = ftl_.takeHostWriteDie();
         pending_programs_[die].push_back(lpn);
         pumpDiePrograms(die);
     }
+    write_admits_.release(admit);
 }
 
 void
@@ -392,8 +400,10 @@ SsdDevice::submitPcm(OpType op, uint64_t offset, uint32_t size,
 {
     uint64_t first = offset / cfg_.page_size;
     uint64_t last = (offset + size - 1) / cfg_.page_size;
-    auto state = std::shared_ptr<ReadState>(new ReadState{
-        static_cast<uint32_t>(last - first + 1), size, std::move(done)});
+    ReadState *state = read_states_.acquire();
+    state->remaining = static_cast<uint32_t>(last - first + 1);
+    state->size = size;
+    state->done = std::move(done);
     bool is_read = op == OpType::kRead;
 
     for (uint64_t lpn = first; lpn <= last; ++lpn) {
@@ -405,17 +415,16 @@ SsdDevice::submitPcm(OpType op, uint64_t offset, uint32_t size,
             if (--state->remaining > 0)
                 return;
             SimTime xfer = transferTime(state->size, cfg_.link_bw);
-            uint32_t size = state->size;
-            Callback done = std::move(state->done);
-            link_.enqueue(xfer, [this, size, is_read,
-                                 done = std::move(done)] {
+            link_.enqueue(xfer, [this, state, is_read] {
                 if (is_read) {
-                    bytes_read_ += size;
+                    bytes_read_ += state->size;
                     ++reads_completed_;
                 } else {
-                    bytes_written_ += size;
+                    bytes_written_ += state->size;
                     ++writes_completed_;
                 }
+                Callback done = std::move(state->done);
+                read_states_.release(state);
                 done();
             });
         });

@@ -27,11 +27,11 @@
 #define ISOL_SSD_DEVICE_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/ring.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "fault/media_model.hh"
@@ -49,7 +49,7 @@ namespace isol::ssd
 class SsdDevice
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = sim::SmallCallback;
 
     /**
      * @param sim simulator
@@ -118,11 +118,14 @@ class SsdDevice
         struct Op
         {
             SimTime service;
-            std::function<void()> done;
+            Callback done;
         };
 
-        std::deque<Op> reads;
-        std::deque<Op> write_path;
+        common::RingDeque<Op> reads;
+        common::RingDeque<Op> write_path;
+        /** Completion of the op in service; a captured-`die` event fires
+         *  it, keeping the event capture inside the inline buffer. */
+        Callback active_done;
         bool busy = false;
         SimTime busy_ns = 0;
         uint64_t jobs = 0;
@@ -131,12 +134,10 @@ class SsdDevice
     };
 
     /** Queue a read op on `die` and pump it. */
-    void dieRead(uint32_t die, SimTime service,
-                 std::function<void()> done);
+    void dieRead(uint32_t die, SimTime service, Callback done);
 
     /** Queue a write-path op (program/GC/erase) on `die` and pump it. */
-    void dieWrite(uint32_t die, SimTime service,
-                  std::function<void()> done);
+    void dieWrite(uint32_t die, SimTime service, Callback done);
 
     /** Start the next op on `die` if it is idle. */
     void pumpDie(uint32_t die);
@@ -160,25 +161,25 @@ class SsdDevice
     // Read pipeline ------------------------------------------------------
     struct ReadState
     {
-        uint32_t remaining;
-        uint32_t size;
+        uint32_t remaining = 0;
+        uint32_t size = 0;
         Callback done;
     };
 
     void submitFlashRead(uint64_t offset, uint32_t size, Callback done);
-    void finishRead(const std::shared_ptr<ReadState> &state);
+    void finishRead(ReadState *state);
 
     // Write pipeline -----------------------------------------------------
     struct WriteAdmit
     {
-        std::vector<uint64_t> lpns;
-        uint32_t size;
+        std::vector<uint64_t> lpns; //!< capacity retained across reuse
+        uint32_t size = 0;
         Callback done;
     };
 
     void submitFlashWrite(uint64_t offset, uint32_t size, Callback done);
     void tryAdmitWrites();
-    void admitWrite(WriteAdmit &&admit);
+    void admitWrite(WriteAdmit *admit);
     void pumpDiePrograms(uint32_t die);
     void onProgramDone(uint32_t die);
 
@@ -198,10 +199,15 @@ class SsdDevice
     std::vector<std::unique_ptr<FifoServer>> channels_;
     FifoServer link_;
 
+    // Request-pipeline pools: completion state lives in typed arenas
+    // (raw pointers captured in events), not per-I/O shared_ptr boxes.
+    common::Arena<ReadState> read_states_;
+    common::Arena<WriteAdmit> write_admits_;
+
     // Write cache and per-die program state (flash only).
     uint32_t cache_used_ = 0;
-    std::deque<WriteAdmit> cache_wait_;
-    std::vector<std::deque<uint64_t>> pending_programs_;
+    common::RingDeque<WriteAdmit *> cache_wait_;
+    std::vector<common::RingDeque<uint64_t>> pending_programs_;
     std::vector<uint32_t> programs_inflight_;
     std::vector<bool> gc_active_;
 

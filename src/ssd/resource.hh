@@ -13,7 +13,6 @@
 #define ISOL_SSD_RESOURCE_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "common/logging.hh"
 #include "common/types.hh"
@@ -38,7 +37,7 @@ class FifoServer
      * Returns the completion time.
      */
     SimTime
-    enqueue(SimTime service, std::function<void()> done)
+    enqueue(SimTime service, sim::SmallCallback done)
     {
         if (service < 0)
             panic("FifoServer: negative service time");

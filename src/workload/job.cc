@@ -43,13 +43,6 @@ FioJob::FioJob(sim::Simulator &sim, JobSpec spec, blk::BlockDevice &bdev,
     depth_limit_ = spec_.qd_ramp_start > 0
                        ? std::min(spec_.qd_ramp_start, spec_.iodepth)
                        : spec_.iodepth;
-
-    slots_.reserve(spec_.iodepth);
-    for (uint32_t i = 0; i < spec_.iodepth; ++i) {
-        slots_.push_back(std::make_unique<Inflight>());
-        slots_.back()->job = this;
-        free_slots_.push_back(slots_.back().get());
-    }
 }
 
 FioJob::~FioJob()
@@ -204,10 +197,8 @@ FioJob::tryIssue()
 void
 FioJob::issueNow(SimTime issue_start)
 {
-    if (free_slots_.empty())
-        panic("FioJob: no free I/O slot");
-    Inflight *slot = free_slots_.back();
-    free_slots_.pop_back();
+    Inflight *slot = slots_.acquire();
+    slot->job = this;
 
     // Spin on the scheduler lock (MQ-DL/BFQ): the wait burns this
     // thread's CPU in parallel with the request waiting for the lock.
@@ -287,7 +278,7 @@ FioJob::finishIo(Inflight *slot)
     SimTime lat = now - slot->issue_start;
     uint32_t size = slot->req.size;
     bool was_write = slot->req.op == OpType::kWrite;
-    free_slots_.push_back(slot);
+    slots_.release(slot);
     if (inflight_ == 0)
         panic("FioJob: inflight underflow");
     --inflight_;

@@ -17,6 +17,7 @@
 
 #include "blk/block_device.hh"
 #include "cgroup/cgroup.hh"
+#include "common/arena.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "host/cpu.hh"
@@ -213,8 +214,7 @@ class FioJob
     sim::EventId burst_event_ = sim::kInvalidEventId;
     sim::EventId ramp_event_ = sim::kInvalidEventId;
 
-    std::vector<std::unique_ptr<Inflight>> slots_;
-    std::vector<Inflight *> free_slots_;
+    common::Arena<Inflight> slots_;
 
     SimTime measure_from_ = 0;
     SimTime measure_to_ = kSimTimeMax;

@@ -203,6 +203,174 @@ TEST(EventQueue, PeakDepthHighWaterMark)
     EXPECT_EQ(q.peakDepth(), 64u); // high-water mark, not current depth
 }
 
+TEST(EventQueue, FarFutureOverflowLadderRoundTrip)
+{
+    // Events beyond the wheel horizon live in the overflow ladder and
+    // are promoted into the wheel once the cursor gets close enough.
+    // The pop order must be indistinguishable from a plain sorted queue.
+    EventQueue q;
+    std::vector<int> order;
+    const SimTime far = SimTime{1} << 40; // beyond the 2^36 ns span
+    q.schedule(2 * far, [&] { order.push_back(4); });
+    q.schedule(100, [&] { order.push_back(1); });
+    q.schedule(far, [&] { order.push_back(2); });
+    q.schedule(far, [&] { order.push_back(3); }); // tie: insertion order
+    q.schedule(3 * far, [&] { order.push_back(5); });
+    EXPECT_EQ(q.size(), 5u);
+    EXPECT_EQ(q.nextTime(), 100);
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, LadderDemotionForPastAndOverflowTimes)
+{
+    // Advancing the cursor past a time and then scheduling at that time
+    // again must still work (the entry is demoted to the ladder rather
+    // than placed in a wheel bucket the cursor already swept).
+    EventQueue q;
+    q.schedule(1000, [] {});
+    auto [when, cb] = q.pop();
+    EXPECT_EQ(when, 1000);
+    cb();
+    std::vector<int> order;
+    q.schedule(500, [&] { order.push_back(1); }); // before the cursor
+    q.schedule(1000, [&] { order.push_back(2); });
+    q.schedule(1500, [&] { order.push_back(3); });
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, MaxHorizonEvent)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(kSimTimeMax, [&] { order.push_back(2); });
+    q.schedule(0, [&] { order.push_back(1); });
+    EXPECT_EQ(q.nextTime(), 0);
+    auto first = q.pop();
+    EXPECT_EQ(first.first, 0);
+    first.second();
+    EXPECT_EQ(q.nextTime(), kSimTimeMax);
+    auto last = q.pop();
+    EXPECT_EQ(last.first, kSimTimeMax);
+    last.second();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeExactUnderWheelAndLadderCancels)
+{
+    // size() must track live events exactly, whether the cancelled
+    // entry sits in a wheel bucket, the ready list, or the ladder.
+    EventQueue q;
+    const SimTime far = SimTime{1} << 45;
+    std::vector<EventId> wheel_ids;
+    std::vector<EventId> ladder_ids;
+    for (int i = 0; i < 16; ++i)
+        wheel_ids.push_back(q.schedule(10 + i, [] {}));
+    for (int i = 0; i < 16; ++i)
+        ladder_ids.push_back(q.schedule(far + i, [] {}));
+    EXPECT_EQ(q.size(), 32u);
+    for (int i = 0; i < 16; i += 2) {
+        EXPECT_TRUE(q.cancel(wheel_ids[static_cast<size_t>(i)]));
+        EXPECT_TRUE(q.cancel(ladder_ids[static_cast<size_t>(i)]));
+    }
+    EXPECT_EQ(q.size(), 16u);
+    size_t popped = 0;
+    while (!q.empty()) {
+        q.pop().second();
+        ++popped;
+        EXPECT_EQ(q.size(), 16u - popped);
+    }
+    EXPECT_EQ(popped, 16u);
+}
+
+TEST(EventQueue, FiredSlotReuseKeepsIdsDistinct)
+{
+    // After an event fires, its slot is recycled with a new generation:
+    // the stale id must not cancel the slot's next occupant.
+    EventQueue q;
+    EventId a = q.schedule(1, [] {});
+    q.pop().second(); // fire a
+    bool ran = false;
+    EventId b = q.schedule(2, [&] { ran = true; });
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(q.cancel(a)); // stale id: fired long ago
+    EXPECT_EQ(q.size(), 1u);
+    q.pop().second();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, RandomizedWideHorizonsAgainstReference)
+{
+    // Same reference check as above, but with bimodal horizons spanning
+    // several wheel levels plus the overflow ladder, so cascades and
+    // ladder promotion are on the hot path of the test.
+    EventQueue q;
+    std::multimap<std::pair<SimTime, uint64_t>, int> reference;
+    Rng rng(1234);
+    uint64_t seq = 0;
+    std::vector<std::pair<EventId, std::pair<SimTime, uint64_t>>> pending;
+    SimTime now = 0;
+    std::vector<int> got;
+    std::vector<int> want;
+
+    for (int step = 0; step < 8000; ++step) {
+        double dice = rng.uniform();
+        if (dice < 0.5 || reference.empty()) {
+            uint64_t horizon;
+            double kind = rng.uniform();
+            if (kind < 0.7)
+                horizon = rng.below(4096); // short, clustered
+            else if (kind < 0.9)
+                horizon = rng.below(uint64_t{1} << 22); // mid-level
+            else
+                horizon = rng.below(uint64_t{1} << 40); // ladder range
+            auto when = now + static_cast<SimTime>(horizon);
+            int tag = static_cast<int>(seq);
+            EventId id =
+                q.schedule(when, [tag, &got] { got.push_back(tag); });
+            auto key = std::make_pair(when, seq++);
+            reference.emplace(key, tag);
+            pending.emplace_back(id, key);
+        } else if (dice < 0.65) {
+            size_t pick = rng.below(pending.size());
+            EXPECT_TRUE(q.cancel(pending[pick].first));
+            reference.erase(reference.find(pending[pick].second));
+            pending.erase(pending.begin() +
+                          static_cast<ptrdiff_t>(pick));
+        } else {
+            auto it = reference.begin();
+            auto [when, cb] = q.pop();
+            ASSERT_EQ(when, it->first.first);
+            now = when;
+            want.push_back(it->second);
+            cb();
+            for (size_t i = 0; i < pending.size(); ++i) {
+                if (pending[i].second == it->first) {
+                    pending.erase(pending.begin() +
+                                  static_cast<ptrdiff_t>(i));
+                    break;
+                }
+            }
+            reference.erase(it);
+        }
+        ASSERT_EQ(q.size(), reference.size());
+    }
+    while (!reference.empty()) {
+        auto it = reference.begin();
+        auto [when, cb] = q.pop();
+        ASSERT_EQ(when, it->first.first);
+        want.push_back(it->second);
+        cb();
+        reference.erase(it);
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(got, want);
+}
+
 TEST(SmallCallback, InlineCaptureInvokes)
 {
     int hits = 0;

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Zero-allocation steady-state verification.
+ *
+ * Runs a small fig5-style weighted-fairness scenario (io.cost, two
+ * cgroups of batch apps) and counts heap allocations during the second
+ * half of the run via the operator-new hook (common/alloc_hook.hh).
+ * Once the arenas, ring deques, and the timing-wheel slot pool are warm,
+ * the per-I/O hot path — submit, QoS gates, elevator, SSD pipeline,
+ * completion — must not touch the heap at all.
+ *
+ * The assertion is allocations *per simulated I/O*, with a tiny bound
+ * rather than literally zero: long-lived containers that grow with
+ * simulated time, not with I/O count (time-series bins, histogram
+ * buckets, an occasional hash-map rehash), are allowed their rare
+ * amortised reallocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/alloc_hook.hh"
+#include "common/strings.hh"
+#include "isolbench/scenario.hh"
+#include "workload/app_profiles.hh"
+
+namespace isol::isolbench
+{
+namespace
+{
+
+uint64_t
+totalIos(Scenario &scenario)
+{
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < scenario.numApps(); ++i)
+        total += scenario.app(i).totalIos();
+    return total;
+}
+
+TEST(ZeroAlloc, SteadyStateHotPathDoesNotAllocate)
+{
+    if (!common::allocCountingEnabled())
+        GTEST_SKIP() << "built without ISOL_COUNT_ALLOCS";
+
+    ScenarioConfig cfg;
+    cfg.knob = Knob::kIoCost;
+    cfg.duration = msToNs(600);
+    cfg.warmup = msToNs(100);
+    cfg.check_invariants = false;
+    Scenario scenario(cfg);
+    for (int i = 0; i < 2; ++i) {
+        scenario.addApp(workload::batchApp(strCat("a", i), msToNs(600)),
+                        "cga");
+        scenario.addApp(workload::batchApp(strCat("b", i), msToNs(600)),
+                        "cgb");
+    }
+
+    // Let the first 300 ms warm every pool (arena slabs, ring
+    // capacities, wheel slots, vector/hash-map capacity), then measure.
+    uint64_t ios_at_mark = 0;
+    scenario.sim().at(msToNs(300), [&] {
+        ios_at_mark = totalIos(scenario);
+        common::resetAllocCounters();
+    });
+    scenario.run();
+
+    common::AllocCounters counters = common::allocCounters();
+    uint64_t ios = totalIos(scenario) - ios_at_mark;
+    ASSERT_GT(ios, 10000u) << "scenario too small to be meaningful";
+
+    double per_io = static_cast<double>(counters.allocs) /
+                    static_cast<double>(ios);
+    EXPECT_LT(per_io, 0.01)
+        << counters.allocs << " allocations over " << ios
+        << " steady-state I/Os (" << counters.bytes << " bytes)";
+}
+
+} // namespace
+} // namespace isol::isolbench
