@@ -20,9 +20,7 @@
 #ifndef ISOL_BLK_BFQ_HH
 #define ISOL_BLK_BFQ_HH
 
-#include <deque>
-#include <unordered_map>
-
+#include "blk/cg_state.hh"
 #include "blk/elevator.hh"
 #include "common/ring.hh"
 #include "sim/simulator.hh"
@@ -51,24 +49,40 @@ class Bfq : public Elevator
     Request *selectNext() override;
     bool empty() const override;
     size_t queued() const override;
+    uint64_t bookkeepingOps() const override { return bookkeeping_ops_; }
+
+    /** Groups with live queues (shrinks on cgroup removal). */
+    size_t trackedQueues() const { return queues_.size(); }
 
   private:
     struct Queue
     {
-        cgroup::Cgroup *cg = nullptr;
+        const cgroup::Cgroup *cg = nullptr;
         common::RingDeque<Request *> fifo;
         double vfinish = 0.0; //!< virtual finish time (bytes / weight)
         uint64_t slice_served = 0; //!< bytes served in the current slice
         SimTime last_busy = -1; //!< when the queue last had service
+        uint64_t seq = 0; //!< creation order, for deterministic ties
+        /** Hierarchical weight cached against the tree version so the
+         *  per-dispatch hot path stops walking the cgroup tree. */
+        double weight = 100.0;
+        uint64_t weight_version = 0;
     };
 
-    Queue &queueFor(cgroup::Cgroup *cg);
+    Queue &queueFor(const cgroup::Cgroup *cg);
 
-    /** Weight share of a queue (hierarchical io.bfq.weight). */
-    double weightOf(const Queue &q) const;
+    /** Drop the queue when a cgroup is removed (tree listener). */
+    void onCgroupRemoved(cgroup::Cgroup &cg);
+
+    /** Weight share of a queue (hierarchical io.bfq.weight, cached). */
+    double weightOf(Queue &q);
 
     /** Non-empty queue with the minimum virtual finish time. */
     Queue *pickQueue();
+
+    /** The in-service queue, or nullptr (identity is the cgroup: slot
+     *  positions move under arena growth and swap-remove). */
+    Queue *inServiceQueue();
 
     Request *serveFrom(Queue *q);
 
@@ -76,19 +90,20 @@ class Bfq : public Elevator
     cgroup::CgroupTree &tree_;
     BfqParams params_;
 
-    /** Queues in creation order. Iteration order must not depend on
-     *  pointer values: heap addresses vary across runs and threads, and
-     *  pickQueue() breaks virtual-time ties by iteration order. A
-     *  deque keeps references stable across growth. */
-    // isol-lint: allow(D1): lookup-only index into queues_; iteration
-    // always walks the creation-order deque
-    std::unordered_map<const cgroup::Cgroup *, size_t> queue_index_;
-    std::deque<Queue> queues_;
-    Queue *in_service_ = nullptr;
+    /** Queues in a flat dense-id arena. pickQueue() breaks virtual-time
+     *  ties by each queue's creation `seq`, never by slot position or
+     *  pointer value, so selection is deterministic across runs and
+     *  unaffected by swap-remove perturbation. */
+    CgStateArena<Queue> queues_;
+    bool has_in_service_ = false;
+    const cgroup::Cgroup *in_service_cg_ = nullptr;
     bool idling_ = false;
     sim::EventId idle_event_ = sim::kInvalidEventId;
     double vtime_ = 0.0; //!< global virtual time
     size_t queued_ = 0;
+    uint64_t next_seq_ = 0;
+    size_t removal_token_ = 0;
+    uint64_t bookkeeping_ops_ = 0;
 };
 
 } // namespace isol::blk

@@ -37,7 +37,7 @@ BlockDevice::BlockDevice(sim::Simulator &sim, cgroup::CgroupTree &tree,
         cfg_.iolat_params.max_nr_requests =
             cfg_.iolatency_max_nr_requests;
         io_latency_ = std::make_unique<IoLatencyGate>(
-            sim_, cfg_.dev_id,
+            sim_, cfg_.dev_id, tree_,
             [this](Request *req) { enterTags(req); }, cfg_.iolat_params);
         io_latency_->setInvariants(inv_);
     }
@@ -50,11 +50,35 @@ BlockDevice::BlockDevice(sim::Simulator &sim, cgroup::CgroupTree &tree,
     }
     if (cfg_.enable_io_max) {
         io_max_ = std::make_unique<IoMaxGate>(
-            sim_, cfg_.dev_id,
+            sim_, cfg_.dev_id, tree_,
             [this](Request *req) { afterIoMax(req); });
         io_max_->setInvariants(inv_);
         io_max_->setDebugCorruptBucket(cfg_.debug_corrupt_iomax_bucket);
     }
+}
+
+uint64_t
+BlockDevice::gateBookkeepingOps() const
+{
+    uint64_t ops = elevator_->bookkeepingOps();
+    if (io_max_)
+        ops += io_max_->bookkeepingOps();
+    if (io_latency_)
+        ops += io_latency_->bookkeepingOps();
+    if (io_cost_)
+        ops += io_cost_->bookkeepingOps();
+    return ops;
+}
+
+void
+BlockDevice::finalInvariantChecks()
+{
+    if (inv_ == nullptr)
+        return;
+    if (io_max_)
+        io_max_->verifyHierarchicalConsumption();
+    if (io_cost_)
+        io_cost_->checkHierarchicalCharges();
 }
 
 void

@@ -165,6 +165,21 @@ class BlockDevice
     IoCostGate *ioCostGate() { return io_cost_.get(); }
     Elevator &elevator() { return *elevator_; }
 
+    /**
+     * Per-cgroup bookkeeping work across every enabled gate and the
+     * elevator: share recomputes, donation passes, chain charge walks,
+     * window scans, queue-selection scans. Deterministic (pure event
+     * counts), so benches report it alongside throughput to show where
+     * gate state handling becomes the hot path at high tenant counts.
+     */
+    uint64_t gateBookkeepingOps() const;
+
+    /**
+     * End-of-run hierarchical conservation checks (no-op when invariant
+     * checking is off or the relevant gate is disabled).
+     */
+    void finalInvariantChecks();
+
   private:
     void afterLock(Request *req);
     void afterIoMax(Request *req);

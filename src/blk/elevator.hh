@@ -46,6 +46,13 @@ class Elevator
     virtual size_t queued() const = 0;
 
     /**
+     * Per-cgroup bookkeeping work performed so far (state scans, weight
+     * resolution). Deterministic; benches report it to make scheduler
+     * scale cliffs visible. Elevators without per-cgroup state report 0.
+     */
+    virtual uint64_t bookkeepingOps() const { return 0; }
+
+    /**
      * Register the callback the elevator uses to restart dispatching
      * after holding back requests (e.g. when an idle window expires).
      */

@@ -1,7 +1,6 @@
 #include "blk/qos_cost.hh"
 
 #include <algorithm>
-#include <vector>
 
 #include "common/logging.hh"
 #include "common/strings.hh"
@@ -20,6 +19,13 @@ IoCostGate::IoCostGate(sim::Simulator &sim, cgroup::DeviceId dev,
     vrate_ = qos.vrate_max / 100.0;
     timer_ = std::make_unique<sim::PeriodicTimer>(
         sim_, params_.period, [this] { periodTick(); });
+    removal_token_ = tree_.addRemovalListener(
+        [this](cgroup::Cgroup &cg) { onCgroupRemoved(cg); });
+}
+
+IoCostGate::~IoCostGate()
+{
+    tree_.removeRemovalListener(removal_token_);
 }
 
 void
@@ -31,13 +37,39 @@ IoCostGate::start()
 IoCostGate::CgState &
 IoCostGate::stateFor(const cgroup::Cgroup *cg)
 {
-    auto [it, inserted] = state_index_.try_emplace(cg, states_.size());
-    if (inserted) {
-        CgState &st = states_.emplace_back();
-        st.cg = cg;
-        st.vtime = vnow_;
+    CgState *existing = states_.find(cg);
+    if (existing != nullptr)
+        return *existing;
+    CgState &st = states_.stateFor(cg);
+    st.vtime = vnow_;
+    return st;
+}
+
+void
+IoCostGate::ensureChainStates(const cgroup::Cgroup *cg)
+{
+    for (const cgroup::Cgroup *node = cg;
+         node != nullptr && !node->isRoot(); node = node->parent())
+        stateFor(node);
+}
+
+void
+IoCostGate::onCgroupRemoved(cgroup::Cgroup &cg)
+{
+    CgState *st = states_.find(&cg);
+    if (st == nullptr)
+        return;
+    if (!st->queue.empty()) {
+        fatal("io.cost: cgroup '" + cg.path() + "' removed with " +
+              std::to_string(st->queue.size()) + " queued I/Os");
     }
-    return states_[it->second];
+    if (st->wake_event != sim::kInvalidEventId)
+        sim_.cancel(st->wake_event);
+    if (st->active) {
+        --active_count_;
+        shares_dirty_ = true;
+    }
+    states_.erase(&cg);
 }
 
 SimTime
@@ -86,26 +118,47 @@ IoCostGate::activate(CgState &st)
     ++active_count_;
     // A group joining after idling must not spend banked history.
     st.vtime = std::max(st.vtime, vnow_ - params_.credit_cap);
-    recomputeShares();
+    shares_dirty_ = true;
+}
+
+void
+IoCostGate::ensureShares()
+{
+    if (shares_dirty_ || shares_tree_version_ != tree_.version())
+        recomputeShares();
 }
 
 void
 IoCostGate::recomputeShares()
 {
-    // Mark every tree node that has an active descendant, then resolve
-    // each active group's hierarchical weight share among marked
-    // siblings (weight donation: idle groups are simply not counted).
-    // isol-lint: allow(D1): lookup-only visited set; the loops below
-    // iterate states_ (creation order) and tree children, never this map
-    std::unordered_map<const cgroup::Cgroup *, bool> marked;
+    shares_dirty_ = false;
+    shares_tree_version_ = tree_.version();
+
+    // Mark every tree node with an active descendant, accumulate each
+    // marked node's weight into its parent's sibling sum, then resolve
+    // each active group's hierarchical share as a product of
+    // weight/sibling-sum up its cached ancestor chain. All flat
+    // dense-id arrays — O(active x depth) with no hashing, which is
+    // what keeps a 1000-tenant activation storm affordable.
+    size_t cap = tree_.idCapacity();
+    marked_scratch_.assign(cap, 0);
+    weight_sum_scratch_.assign(cap, 0);
+    marked_ids_.clear();
     for (CgState &st : states_) {
         if (!st.active || st.cg == nullptr)
             continue;
-        const cgroup::Cgroup *node = st.cg;
-        while (node != nullptr && !marked[node]) {
-            marked[node] = true;
-            node = node->parent();
+        for (cgroup::CgroupId id : st.cg->chain()) {
+            if (marked_scratch_[id] != 0)
+                break; // ancestors above are already marked
+            marked_scratch_[id] = 1;
+            marked_ids_.push_back(id);
+            ++bookkeeping_ops_;
         }
+    }
+    for (cgroup::CgroupId id : marked_ids_) {
+        const cgroup::Cgroup &g = tree_.group(id);
+        weight_sum_scratch_[g.parent()->id()] += g.ioWeight();
+        ++bookkeeping_ops_;
     }
     for (CgState &st : states_) {
         if (st.cg == nullptr) {
@@ -115,20 +168,14 @@ IoCostGate::recomputeShares()
         if (!st.active)
             continue;
         double share = 1.0;
-        const cgroup::Cgroup *node = st.cg;
-        while (!node->isRoot()) {
-            const cgroup::Cgroup *parent = node->parent();
-            uint64_t sum = 0;
-            for (const cgroup::Cgroup *sib : parent->children()) {
-                auto it = marked.find(sib);
-                if (it != marked.end() && it->second)
-                    sum += sib->ioWeight();
-            }
+        for (cgroup::CgroupId id : st.cg->chain()) {
+            const cgroup::Cgroup &g = tree_.group(id);
+            uint64_t sum = weight_sum_scratch_[g.parent()->id()];
             if (sum == 0)
-                sum = node->ioWeight();
-            share *= static_cast<double>(node->ioWeight()) /
+                sum = g.ioWeight();
+            share *= static_cast<double>(g.ioWeight()) /
                      static_cast<double>(sum);
-            node = parent;
+            ++bookkeeping_ops_;
         }
         st.raw_share = std::max(share, 1e-9);
         // Activation/weight changes grant the full raw share; the next
@@ -147,11 +194,12 @@ IoCostGate::donateShares()
         static_cast<double>(params_.period) * std::max(vrate_, 1e-6);
     double want_sum = 0.0;
     double receiver_raw_sum = 0.0;
-    std::vector<CgState *> receivers;
+    donate_receivers_.clear();
 
     for (CgState &st : states_) {
         if (!st.active)
             continue;
+        ++bookkeeping_ops_;
         double usage = st.period_abs / period_cap;
         st.period_abs = 0.0;
         bool constrained = usage >= 0.85 * st.share;
@@ -160,7 +208,7 @@ IoCostGate::donateShares()
             // Using its grant: expand back toward the raw share.
             want = std::min(st.raw_share,
                             std::max(st.share * 2.0, usage * 1.25 + 0.02));
-            receivers.push_back(&st);
+            donate_receivers_.push_back(&st);
             receiver_raw_sum += st.raw_share;
         } else {
             // Donor: keep usage plus headroom.
@@ -173,8 +221,8 @@ IoCostGate::donateShares()
     double surplus = 1.0 - want_sum;
     if (surplus <= 0.0)
         return;
-    if (!receivers.empty()) {
-        for (CgState *st : receivers)
+    if (!donate_receivers_.empty()) {
+        for (CgState *st : donate_receivers_)
             st->share += surplus * st->raw_share / receiver_raw_sum;
         return;
     }
@@ -194,10 +242,24 @@ IoCostGate::donateShares()
     }
 }
 
+void
+IoCostGate::chargeSubtree(const cgroup::Cgroup *cg, double abs)
+{
+    if (cg == nullptr)
+        return;
+    // O(depth) walk over the cached ancestor chain: two array loads per
+    // level (id -> slot -> state), no pointer chasing through the tree.
+    for (cgroup::CgroupId id : cg->chain()) {
+        states_.findId(id)->subtree_abs += abs;
+        ++bookkeeping_ops_;
+    }
+}
+
 bool
 IoCostGate::tryCharge(CgState &st, OpType op, bool sequential,
                       uint32_t size)
 {
+    ensureShares();
     updateVnow();
     if (st.vtime < vnow_ - params_.credit_cap)
         st.vtime = vnow_ - params_.credit_cap;
@@ -206,9 +268,10 @@ IoCostGate::tryCharge(CgState &st, OpType op, bool sequential,
     if (st.vtime + cost <= vnow_ + static_cast<double>(params_.margin)) {
         st.vtime += cost;
         st.period_abs += abs; // usage accounting for donation
+        chargeSubtree(st.cg, abs);
         if (inv_ != nullptr) {
-            inv_->checkMonotonic(
-                &st, "io.cost vtime monotonicity",
+            inv_->checkMonotonicAt(
+                st.inv_vtime_last, "io.cost vtime monotonicity",
                 strCat("cgroup '",
                        st.cg != nullptr ? st.cg->name() : "<root>", "'"),
                 st.vtime);
@@ -223,22 +286,27 @@ IoCostGate::chargeRetry(Request *req)
 {
     if (req->cg == nullptr)
         return;
-    CgState &st = stateFor(req->cg);
+    ensureChainStates(req->cg);
+    CgState &st = *states_.find(req->cg);
     activate(st);
+    ensureShares();
     updateVnow();
     double abs = static_cast<double>(absCost(*req));
     st.vtime += abs / std::max(st.share, 1e-9);
     st.period_abs += abs;
+    chargeSubtree(st.cg, abs);
     if (inv_ != nullptr) {
-        inv_->checkMonotonic(&st, "io.cost vtime monotonicity",
-                             strCat("cgroup '", req->cg->name(), "'"),
-                             st.vtime);
+        inv_->checkMonotonicAt(st.inv_vtime_last,
+                               "io.cost vtime monotonicity",
+                               strCat("cgroup '", req->cg->name(), "'"),
+                               st.vtime);
     }
 }
 
 void
 IoCostGate::submit(Request *req)
 {
+    ensureChainStates(req->cg);
     CgState &st = stateFor(req->cg);
     activate(st);
     if (st.queue.empty() &&
@@ -312,22 +380,47 @@ IoCostGate::periodTick()
 }
 
 void
+IoCostGate::checkHierarchicalCharges()
+{
+    // Sum each parent's children into a dense-id scratch array, then
+    // require every interior node's own subtree charge to cover it. By
+    // construction (chargeSubtree charges whole chains) equality holds;
+    // a violation means a charge or refund skipped a level.
+    size_t cap = tree_.idCapacity();
+    child_abs_scratch_.assign(cap, 0.0);
+    for (CgState &st : states_) {
+        if (st.cg == nullptr || st.cg->isRoot())
+            continue;
+        const cgroup::Cgroup *parent = st.cg->parent();
+        if (!parent->isRoot())
+            child_abs_scratch_[parent->id()] += st.subtree_abs;
+    }
+    for (CgState &st : states_) {
+        if (st.cg == nullptr || st.cg->children().empty())
+            continue;
+        inv_->checkHierarchy(
+            "io.cost hierarchical charge conservation",
+            strCat("cgroup '", st.cg->name(), "'"),
+            child_abs_scratch_[st.cg->id()], st.subtree_abs);
+    }
+}
+
+void
 IoCostGate::periodWork()
 {
     updateVnow();
 
     // Deactivate groups idle for more than two periods (weight donation).
-    bool changed = false;
     for (CgState &st : states_) {
+        ++bookkeeping_ops_;
         if (st.active && st.queue.empty() &&
             sim_.now() - st.last_io > 2 * params_.period) {
             st.active = false;
             --active_count_;
-            changed = true;
+            shares_dirty_ = true;
         }
     }
-    if (changed)
-        recomputeShares();
+    ensureShares();
     if (params_.enable_donation)
         donateShares();
 
@@ -355,6 +448,9 @@ IoCostGate::periodWork()
     window_read_lat_.clear();
     window_write_lat_.clear();
 
+    if (inv_ != nullptr)
+        checkHierarchicalCharges();
+
     // Wakeup estimates are stale after a vrate change: re-drain.
     for (CgState &st : states_) {
         if (!st.queue.empty())
@@ -365,7 +461,15 @@ IoCostGate::periodWork()
 double
 IoCostGate::shareOf(const cgroup::Cgroup *cg)
 {
+    ensureShares();
     return stateFor(cg).share;
+}
+
+double
+IoCostGate::subtreeAbsOf(const cgroup::Cgroup *cg) const
+{
+    const CgState *st = states_.find(cg);
+    return st == nullptr ? 0.0 : st->subtree_abs;
 }
 
 } // namespace isol::blk

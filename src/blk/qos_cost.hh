@@ -34,10 +34,10 @@
 #ifndef ISOL_BLK_QOS_COST_HH
 #define ISOL_BLK_QOS_COST_HH
 
-#include <deque>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
+#include "blk/cg_state.hh"
 #include "blk/request.hh"
 #include "common/ring.hh"
 #include "sim/simulator.hh"
@@ -80,6 +80,7 @@ class IoCostGate
     IoCostGate(sim::Simulator &sim, cgroup::DeviceId dev,
                cgroup::CgroupTree &tree, PassFn pass,
                IoCostParams params = {});
+    ~IoCostGate();
 
     /** Optional: route the period-timer work through a CPU core. */
     void setCpuCharge(CpuChargeFn fn) { cpu_charge_ = std::move(fn); }
@@ -124,8 +125,26 @@ class IoCostGate
     /** Hierarchical weight share of `cg` among active groups (testing). */
     double shareOf(const cgroup::Cgroup *cg);
 
+    /** Groups with live gate state (shrinks on cgroup removal). */
+    size_t trackedGroups() const { return states_.size(); }
+
+    /** Total abs cost charged to `cg`'s subtree so far (testing). */
+    double subtreeAbsOf(const cgroup::Cgroup *cg) const;
+
+    /**
+     * Bookkeeping work performed: state visits in share recomputes,
+     * donation passes, period scans, and hierarchical charge walks.
+     * Deterministic (event-driven), so benches may print it.
+     */
+    uint64_t bookkeepingOps() const { return bookkeeping_ops_; }
+
     /** Opt-in runtime invariant checking (nullptr = off). */
     void setInvariants(sim::InvariantChecker *inv) { inv_ = inv; }
+
+    /** Hierarchical conservation: children never outspend the parent.
+     *  Runs every period when checking is on; also callable at end of
+     *  run for a final full sweep. */
+    void checkHierarchicalCharges();
 
   private:
     /**
@@ -147,6 +166,8 @@ class IoCostGate
         double raw_share = 1.0; //!< weight-derived hweight
         double share = 1.0; //!< effective share after donation
         double period_abs = 0.0; //!< abs cost charged this period
+        double subtree_abs = 0.0; //!< abs cost charged to the subtree
+        double inv_vtime_last = 0.0; //!< monotone-series slot (checker)
         bool active = false;
         SimTime last_io = 0;
         common::RingDeque<QEnt> queue;
@@ -155,14 +176,27 @@ class IoCostGate
 
     CgState &stateFor(const cgroup::Cgroup *cg);
 
+    /** Materialize gate state for `cg` and every ancestor below the
+     *  root, so charge walks can assume the whole chain is present. */
+    void ensureChainStates(const cgroup::Cgroup *cg);
+
+    /** Drop state when a cgroup is removed (tree removal listener). */
+    void onCgroupRemoved(cgroup::Cgroup &cg);
+
     /** Advance the device virtual clock to the present. */
     void updateVnow();
 
     /** Mark a group active and recompute shares if needed. */
     void activate(CgState &st);
 
+    /** Recompute shares iff the active set or the tree changed. */
+    void ensureShares();
+
     /** Recompute hweight shares over the active set. */
     void recomputeShares();
+
+    /** Charge `abs` to every node on `cg`'s ancestor chain. */
+    void chargeSubtree(const cgroup::Cgroup *cg, double abs);
 
     /** Per-period hweight donation: cap donors at usage, give surplus
      *  to constrained groups. */
@@ -185,15 +219,12 @@ class IoCostGate
     IoCostParams params_;
     CpuChargeFn cpu_charge_;
 
-    /** Group states in creation order. donateShares() folds floating-
-     *  point sums and periodWork() re-drains queues while iterating, so
-     *  iteration order must not depend on pointer hash values (heap
-     *  addresses vary across runs/threads). The deque keeps references
-     *  stable across growth. */
-    // isol-lint: allow(D1): lookup-only index into states_; iteration
-    // always walks the creation-order deque
-    std::unordered_map<const cgroup::Cgroup *, size_t> state_index_;
-    std::deque<CgState> states_;
+    /** Group states in a flat dense-id arena, iterated in registration
+     *  order (swap-remove perturbs it deterministically). donateShares()
+     *  folds floating-point sums and periodWork() re-drains queues while
+     *  iterating, so the order must never depend on pointer hash values
+     *  — and it does not: slots are assigned by event order alone. */
+    CgStateArena<CgState> states_;
     std::unique_ptr<sim::PeriodicTimer> timer_;
 
     sim::InvariantChecker *inv_ = nullptr;
@@ -202,6 +233,23 @@ class IoCostGate
     SimTime vnow_updated_ = 0;
     size_t active_count_ = 0;
     size_t throttled_ = 0;
+
+    /** Share cache validity: recompute lazily when the active set flips
+     *  (dirty flag) or any cgroup knob/topology changed (tree version),
+     *  so an activation storm at 1000 tenants coalesces into one
+     *  recompute instead of one per submit. */
+    bool shares_dirty_ = true;
+    uint64_t shares_tree_version_ = 0;
+    uint64_t bookkeeping_ops_ = 0;
+    size_t removal_token_ = 0;
+
+    /** Scratch for recomputeShares(), indexed by dense CgroupId; kept
+     *  as members so steady-state recomputes do not allocate. */
+    std::vector<uint8_t> marked_scratch_;
+    std::vector<uint64_t> weight_sum_scratch_;
+    std::vector<cgroup::CgroupId> marked_ids_;
+    std::vector<CgState *> donate_receivers_;
+    std::vector<double> child_abs_scratch_;
 
     stats::Histogram window_read_lat_;
     stats::Histogram window_write_lat_;

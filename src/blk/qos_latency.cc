@@ -21,11 +21,20 @@ groupLabel(const cgroup::Cgroup *cg)
 } // namespace
 
 IoLatencyGate::IoLatencyGate(sim::Simulator &sim, cgroup::DeviceId dev,
-                             PassFn pass, IoLatencyParams params)
-    : sim_(sim), dev_(dev), pass_(std::move(pass)), params_(params)
+                             cgroup::CgroupTree &tree, PassFn pass,
+                             IoLatencyParams params)
+    : sim_(sim), dev_(dev), tree_(tree), pass_(std::move(pass)),
+      params_(params)
 {
     timer_ = std::make_unique<sim::PeriodicTimer>(
         sim_, params_.window, [this] { windowTick(); });
+    removal_token_ = tree_.addRemovalListener(
+        [this](cgroup::Cgroup &cg) { onCgroupRemoved(cg); });
+}
+
+IoLatencyGate::~IoLatencyGate()
+{
+    tree_.removeRemovalListener(removal_token_);
 }
 
 void
@@ -37,13 +46,26 @@ IoLatencyGate::start()
 IoLatencyGate::CgState &
 IoLatencyGate::stateFor(const cgroup::Cgroup *cg)
 {
-    auto [it, inserted] = state_index_.try_emplace(cg, states_.size());
-    if (inserted) {
-        CgState &st = states_.emplace_back();
-        st.cg = cg;
-        st.qd_limit = params_.max_nr_requests;
+    CgState *existing = states_.find(cg);
+    if (existing != nullptr)
+        return *existing;
+    CgState &st = states_.stateFor(cg);
+    st.qd_limit = params_.max_nr_requests;
+    return st;
+}
+
+void
+IoLatencyGate::onCgroupRemoved(cgroup::Cgroup &cg)
+{
+    CgState *st = states_.find(&cg);
+    if (st == nullptr)
+        return;
+    if (!st->queue.empty() || st->inflight != 0) {
+        fatal("io.latency: cgroup '" + cg.path() + "' removed with " +
+              std::to_string(st->queue.size()) + " queued and " +
+              std::to_string(st->inflight) + " in-flight I/Os");
     }
-    return states_[it->second];
+    states_.erase(&cg);
 }
 
 uint32_t
@@ -121,6 +143,7 @@ IoLatencyGate::windowTick()
     SimTime strictest_violated = kSimTimeMax;
     bool any_violated = false;
     for (CgState &st : states_) {
+        ++bookkeeping_ops_;
         if (st.cg == nullptr)
             continue;
         SimTime target = st.cg->ioLatencyTarget(dev_);
@@ -134,6 +157,7 @@ IoLatencyGate::windowTick()
     }
 
     for (CgState &st : states_) {
+        ++bookkeeping_ops_;
         SimTime target =
             st.cg == nullptr ? kSimTimeMax : st.cg->ioLatencyTarget(dev_);
         if (target <= 0)

@@ -23,11 +23,10 @@
 #ifndef ISOL_BLK_QOS_LATENCY_HH
 #define ISOL_BLK_QOS_LATENCY_HH
 
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "blk/cg_state.hh"
 #include "blk/request.hh"
 #include "common/ring.hh"
 #include "sim/simulator.hh"
@@ -57,8 +56,10 @@ class IoLatencyGate
   public:
     using PassFn = sim::SmallFunction<void(Request *)>;
 
-    IoLatencyGate(sim::Simulator &sim, cgroup::DeviceId dev, PassFn pass,
+    IoLatencyGate(sim::Simulator &sim, cgroup::DeviceId dev,
+                  cgroup::CgroupTree &tree, PassFn pass,
                   IoLatencyParams params = {});
+    ~IoLatencyGate();
 
     /** Admit or queue a request against the cgroup's QD limit. */
     void submit(Request *req);
@@ -74,6 +75,12 @@ class IoLatencyGate
 
     /** Requests currently held back. */
     size_t throttled() const { return throttled_; }
+
+    /** Groups with live gate state (shrinks on cgroup removal). */
+    size_t trackedGroups() const { return states_.size(); }
+
+    /** Bookkeeping work: state visits in window scans. */
+    uint64_t bookkeepingOps() const { return bookkeeping_ops_; }
 
     /** Must be called once to arm the periodic window timer. */
     void start();
@@ -94,6 +101,9 @@ class IoLatencyGate
 
     CgState &stateFor(const cgroup::Cgroup *cg);
 
+    /** Drop state when a cgroup is removed (tree removal listener). */
+    void onCgroupRemoved(cgroup::Cgroup &cg);
+
     /** Window processing: check targets, throttle/unthrottle. */
     void windowTick();
 
@@ -101,19 +111,19 @@ class IoLatencyGate
 
     sim::Simulator &sim_;
     cgroup::DeviceId dev_;
+    cgroup::CgroupTree &tree_;
     PassFn pass_;
     IoLatencyParams params_;
-    /** Group states in creation order. windowTick() drains queues while
-     *  iterating, so iteration order must not depend on pointer hash
-     *  values (heap addresses vary across runs/threads). The deque
-     *  keeps references stable across growth. */
-    // isol-lint: allow(D1): lookup-only index into states_; iteration
-    // always walks the creation-order deque
-    std::unordered_map<const cgroup::Cgroup *, size_t> state_index_;
-    std::deque<CgState> states_;
+    /** Group states in a flat dense-id arena, iterated in registration
+     *  order (swap-remove perturbs it deterministically); windowTick()
+     *  drains queues while iterating, so the order must never depend on
+     *  pointer hash values — slots are assigned by event order alone. */
+    CgStateArena<CgState> states_;
     std::unique_ptr<sim::PeriodicTimer> timer_;
     size_t throttled_ = 0;
     sim::InvariantChecker *inv_ = nullptr;
+    size_t removal_token_ = 0;
+    uint64_t bookkeeping_ops_ = 0;
 };
 
 } // namespace isol::blk

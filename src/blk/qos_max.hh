@@ -8,6 +8,15 @@
  * satisfied. As in the kernel, accumulated idle credit is capped at one
  * throttle slice so a limit cannot be burst around after an idle period.
  *
+ * Enforcement is hierarchical (kernel blk-throttle walks the
+ * throtl_grp ancestors): a request must clear the buckets of its own
+ * cgroup *and* of every ancestor that sets a limit, and admission
+ * charges the whole chain. An io.max written at an interior node is
+ * therefore a shared token bucket capping the subtree's aggregate —
+ * siblings compete for the parent's credit in event (FIFO) order. The
+ * walk follows the cgroup's cached ancestor-chain of dense ids into
+ * flat arena state, so it is O(depth) with no hashing.
+ *
  * io.max is static: it never unthrottles in the absence of other load,
  * which is exactly the non-work-conserving behaviour the paper measures
  * (O8, Fig. 2e).
@@ -16,8 +25,7 @@
 #ifndef ISOL_BLK_QOS_MAX_HH
 #define ISOL_BLK_QOS_MAX_HH
 
-#include <unordered_map>
-
+#include "blk/cg_state.hh"
 #include "blk/request.hh"
 #include "common/ring.hh"
 #include "sim/simulator.hh"
@@ -42,12 +50,12 @@ class IoMaxGate
     /**
      * @param sim simulator
      * @param dev device id used to look up io.max limits in the cgroup
+     * @param tree cgroup hierarchy (ancestor walks, removal listener)
      * @param pass downstream continuation
      */
-    IoMaxGate(sim::Simulator &sim, cgroup::DeviceId dev, PassFn pass)
-        : sim_(sim), dev_(dev), pass_(std::move(pass))
-    {
-    }
+    IoMaxGate(sim::Simulator &sim, cgroup::DeviceId dev,
+              cgroup::CgroupTree &tree, PassFn pass);
+    ~IoMaxGate();
 
     /** Admit or queue a request. */
     void submit(Request *req);
@@ -55,8 +63,25 @@ class IoMaxGate
     /** Requests currently held back. */
     size_t throttled() const { return throttled_; }
 
+    /** Groups with live gate state (shrinks on cgroup removal). */
+    size_t trackedGroups() const { return states_.size(); }
+
+    /** Bytes consumed against `cg`'s buckets, subtree-wide (testing). */
+    uint64_t consumedBytesOf(const cgroup::Cgroup *cg) const;
+
+    /** Bookkeeping work: chain-walk steps in admission/consume. */
+    uint64_t bookkeepingOps() const { return bookkeeping_ops_; }
+
     /** Opt-in runtime invariant checking (nullptr = off). */
     void setInvariants(sim::InvariantChecker *inv) { inv_ = inv; }
+
+    /**
+     * End-of-run hierarchical conservation: for every interior node,
+     * the sum of its children's subtree consumption must not exceed its
+     * own (charges always walk whole chains). No-op when checking is
+     * off.
+     */
+    void verifyHierarchicalConsumption();
 
     /**
      * Mutation hook for negative tests: after a fixed number of credit
@@ -74,6 +99,7 @@ class IoMaxGate
     struct Bucket
     {
         SimTime next_free = 0;
+        double inv_last = 0.0; //!< monotone-series slot (checker)
     };
 
     /**
@@ -89,27 +115,46 @@ class IoMaxGate
 
     struct CgState
     {
+        const cgroup::Cgroup *cg = nullptr;
         Bucket rbps;
         Bucket wbps;
         Bucket riops;
         Bucket wiops;
+        /** io.max limits cached against the tree version: per-request
+         *  chain walks do one version compare instead of a map find. */
+        cgroup::IoMaxLimits limits;
+        uint64_t limits_version = 0;
+        bool limited = false;
+        /** Subtree-wide consumption (self + descendants), for the
+         *  hierarchical conservation checks. */
+        uint64_t consumed_bytes = 0;
+        uint64_t consumed_ios = 0;
         common::RingDeque<QEnt> queue;
         bool draining = false;
     };
 
-    CgState &stateFor(const cgroup::Cgroup *cg);
+    /** Materialize state for `cg` and every ancestor below the root. */
+    void ensureChainStates(const cgroup::Cgroup *cg);
+
+    /** Drop state when a cgroup is removed (tree removal listener). */
+    void onCgroupRemoved(cgroup::Cgroup &cg);
+
+    /** Refresh the cached limits when the tree changed. */
+    const cgroup::IoMaxLimits &limitsOf(CgState &st);
 
     /**
      * Earliest time an (op, size) request from `cg` may pass given the
-     * cgroup's current buckets (== now when it may pass immediately).
-     * Does not consume credit.
+     * buckets of the whole ancestor chain (== now when it may pass
+     * immediately). Does not consume credit.
      */
-    SimTime admissionTime(CgState &st, const cgroup::Cgroup *cg, OpType op,
-                          uint32_t size) const;
+    SimTime admissionTime(const cgroup::Cgroup *cg, OpType op,
+                          uint32_t size);
 
-    /** Consume bucket credit for an admitted request. */
-    void consume(CgState &st, const cgroup::Cgroup *cg, OpType op,
-                 uint32_t size);
+    /** Consume credit along the whole chain for an admitted request. */
+    void consume(const cgroup::Cgroup *cg, OpType op, uint32_t size);
+
+    /** Advance one state's applicable buckets. */
+    void advanceBuckets(CgState &st, OpType op, uint32_t size);
 
     /** Release queued requests whose time has come. */
     void drain(const cgroup::Cgroup *cg);
@@ -119,12 +164,14 @@ class IoMaxGate
 
     sim::Simulator &sim_;
     cgroup::DeviceId dev_;
+    cgroup::CgroupTree &tree_;
     PassFn pass_;
-    // isol-lint: allow(D1): lookup-only (submit/drain address a single
-    // cgroup's state); never iterated, so address order cannot leak
-    std::unordered_map<const cgroup::Cgroup *, CgState> state_by_cg_;
+    CgStateArena<CgState> states_;
     size_t throttled_ = 0;
     sim::InvariantChecker *inv_ = nullptr;
+    size_t removal_token_ = 0;
+    uint64_t bookkeeping_ops_ = 0;
+    std::vector<uint64_t> child_bytes_scratch_;
     bool debug_corrupt_bucket_ = false;
     uint64_t debug_consumes_ = 0;
 };

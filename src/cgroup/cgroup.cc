@@ -1,5 +1,6 @@
 #include "cgroup/cgroup.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -41,6 +42,26 @@ CgroupTree::CgroupTree()
 }
 
 Cgroup &
+CgroupTree::group(CgroupId id)
+{
+    Cgroup *g = groups_.at(id).get();
+    if (g == nullptr)
+        fatal("cgroup: id " + std::to_string(id) + " refers to a removed "
+              "group");
+    return *g;
+}
+
+const Cgroup &
+CgroupTree::group(CgroupId id) const
+{
+    const Cgroup *g = groups_.at(id).get();
+    if (g == nullptr)
+        fatal("cgroup: id " + std::to_string(id) + " refers to a removed "
+              "group");
+    return *g;
+}
+
+Cgroup &
 CgroupTree::createChild(Cgroup &parent, const std::string &name)
 {
     if (name.empty() || name.find('/') != std::string::npos)
@@ -52,12 +73,93 @@ CgroupTree::createChild(Cgroup &parent, const std::string &name)
     // v2: a group with processes cannot gain child groups that would be
     // subject to resource control. (The kernel allows child creation but
     // refuses controller enablement; we enforce at enablement time.)
-    auto id = static_cast<CgroupId>(groups_.size());
-    groups_.push_back(std::unique_ptr<Cgroup>(
-        new Cgroup(this, &parent, name, id)));
-    Cgroup *child = groups_.back().get();
+    CgroupId id;
+    if (!free_ids_.empty()) {
+        id = free_ids_.back();
+        free_ids_.pop_back();
+        groups_[id].reset(new Cgroup(this, &parent, name, id));
+    } else {
+        id = static_cast<CgroupId>(groups_.size());
+        groups_.push_back(std::unique_ptr<Cgroup>(
+            new Cgroup(this, &parent, name, id)));
+    }
+    Cgroup *child = groups_[id].get();
     parent.children_.push_back(child);
+    ++live_groups_;
+    bumpVersion();
     return *child;
+}
+
+void
+CgroupTree::removeGroup(Cgroup &group)
+{
+    if (group.isRoot())
+        fatal("cgroup: cannot remove the root group");
+    if (!group.children_.empty()) {
+        fatal("cgroup: cannot remove '" + group.path() +
+              "': group has child groups");
+    }
+    if (group.processes_ > 0) {
+        fatal("cgroup: cannot remove '" + group.path() +
+              "': group holds processes");
+    }
+    // Gates drop their per-cgroup state while the group is still linked.
+    for (const Listener &l : removal_listeners_)
+        l.fn(group);
+    Cgroup *parent = group.parent_;
+    auto &siblings = parent->children_;
+    siblings.erase(std::find(siblings.begin(), siblings.end(), &group));
+    CgroupId id = group.id_;
+    groups_[id].reset();
+    free_ids_.push_back(id);
+    --live_groups_;
+    bumpVersion();
+}
+
+size_t
+CgroupTree::addRemovalListener(RemovalListener fn)
+{
+    size_t token = next_listener_token_++;
+    removal_listeners_.push_back({token, std::move(fn)});
+    return token;
+}
+
+void
+CgroupTree::removeRemovalListener(size_t token)
+{
+    for (auto it = removal_listeners_.begin();
+         it != removal_listeners_.end(); ++it) {
+        if (it->token == token) {
+            removal_listeners_.erase(it);
+            return;
+        }
+    }
+}
+
+Cgroup *
+CgroupTree::resolve(const std::string &path)
+{
+    Cgroup *node = root_;
+    size_t pos = 0;
+    while (pos < path.size()) {
+        size_t slash = path.find('/', pos);
+        size_t end = slash == std::string::npos ? path.size() : slash;
+        if (end > pos) {
+            std::string component = path.substr(pos, end - pos);
+            Cgroup *next = nullptr;
+            for (Cgroup *child : node->children_) {
+                if (child->name() == component) {
+                    next = child;
+                    break;
+                }
+            }
+            if (next == nullptr)
+                return nullptr;
+            node = next;
+        }
+        pos = end + 1;
+    }
+    return node;
 }
 
 void
@@ -68,6 +170,7 @@ CgroupTree::enableIoController(Cgroup &group)
               "': group holds processes (no internal processes rule)");
     }
     group.io_enabled_ = true;
+    bumpVersion();
 }
 
 void
@@ -78,6 +181,9 @@ CgroupTree::attachProcess(Cgroup &group)
               group.path() + "'");
     }
     ++group.processes_;
+    for (Cgroup *node = &group; node != nullptr; node = node->parent_)
+        ++node->subtree_processes_;
+    bumpVersion();
 }
 
 void
@@ -86,6 +192,9 @@ CgroupTree::detachProcess(Cgroup &group)
     if (group.processes_ == 0)
         fatal("cgroup: no process to detach from '" + group.path() + "'");
     --group.processes_;
+    for (Cgroup *node = &group; node != nullptr; node = node->parent_)
+        --node->subtree_processes_;
+    bumpVersion();
 }
 
 void
@@ -144,17 +253,22 @@ CgroupTree::writeFile(Cgroup &group, const std::string &file,
 {
     if (file == "cgroup.subtree_control") {
         for (const std::string &token : splitWhitespace(value)) {
-            if (token == "+io")
+            if (token == "+io") {
                 enableIoController(group);
-            else if (token == "-io")
+            } else if (token == "-io") {
                 group.io_enabled_ = false;
-            else
+                bumpVersion();
+            } else {
                 fatal("cgroup: unsupported controller token '" + token + "'");
+            }
         }
         return;
     }
 
     validateKnobWrite(group, file);
+    // Every successful knob write below changes enforcement inputs;
+    // gates cache against version(), so bump up front.
+    bumpVersion();
 
     if (file == "io.weight") {
         auto w = parseWeight(value, 1, 10000);
@@ -315,6 +429,7 @@ void
 CgroupTree::setCostModel(DeviceId dev, const IoCostModel &model)
 {
     cost_models_[dev] = model;
+    bumpVersion();
 }
 
 void
@@ -323,18 +438,7 @@ CgroupTree::setCostQos(DeviceId dev, const IoCostQos &qos)
     if (qos.vrate_min > qos.vrate_max)
         fatal("cgroup: io.cost.qos min > max");
     cost_qos_[dev] = qos;
-}
-
-bool
-CgroupTree::subtreeActive(const Cgroup &group) const
-{
-    if (group.processCount() > 0)
-        return true;
-    for (const Cgroup *child : group.children()) {
-        if (subtreeActive(*child))
-            return true;
-    }
-    return false;
+    bumpVersion();
 }
 
 double

@@ -18,6 +18,7 @@
 #ifndef ISOL_CGROUP_CGROUP_HH
 #define ISOL_CGROUP_CGROUP_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -49,6 +50,17 @@ class Cgroup
     Cgroup *parent() const { return parent_; }
     bool isRoot() const { return parent_ == nullptr; }
 
+    /** Levels below the root (root itself is depth 0). */
+    uint32_t depth() const { return depth_; }
+
+    /**
+     * Cached ancestor chain as dense ids: this group first, then each
+     * ancestor up to but excluding the root. Built once at creation, so
+     * hierarchical charge/throttle walks are O(depth) array scans with
+     * no pointer chasing. Empty for the root.
+     */
+    const std::vector<CgroupId> &chain() const { return chain_; }
+
     const std::vector<Cgroup *> &children() const { return children_; }
 
     /** Whether the io controller is enabled for the children. */
@@ -56,6 +68,9 @@ class Cgroup
 
     /** Number of processes attached. */
     uint32_t processCount() const { return processes_; }
+
+    /** Processes in this group's whole subtree (incrementally kept). */
+    uint32_t subtreeProcessCount() const { return subtree_processes_; }
 
     // --- Typed knob accessors (validated like writeFile) ---
 
@@ -94,16 +109,26 @@ class Cgroup
     Cgroup(CgroupTree *tree, Cgroup *parent, std::string name, CgroupId id)
         : tree_(tree), parent_(parent), name_(std::move(name)), id_(id)
     {
+        if (parent != nullptr) {
+            depth_ = parent->depth_ + 1;
+            chain_.reserve(parent->chain_.size() + 1);
+            chain_.push_back(id);
+            chain_.insert(chain_.end(), parent->chain_.begin(),
+                          parent->chain_.end());
+        }
     }
 
     CgroupTree *tree_;
     Cgroup *parent_;
     std::string name_;
     CgroupId id_;
+    uint32_t depth_ = 0;
+    std::vector<CgroupId> chain_;
     std::vector<Cgroup *> children_;
 
     bool io_enabled_ = false; //!< +io in cgroup.subtree_control
     uint32_t processes_ = 0;
+    uint32_t subtree_processes_ = 0;
 
     uint32_t io_weight_ = 100;
     uint32_t bfq_weight_ = 100;
@@ -119,27 +144,74 @@ class Cgroup
 class CgroupTree
 {
   public:
+    /**
+     * Called just before a group is destroyed, while it is still fully
+     * linked into the tree. Blk-layer gates use this to drop per-cgroup
+     * state (arena slots, queues, pending wake events).
+     */
+    using RemovalListener = std::function<void(Cgroup &)>;
+
     CgroupTree();
 
     /** The root group. */
     Cgroup &root() { return *root_; }
     const Cgroup &root() const { return *root_; }
 
-    /** All groups in creation order (index == CgroupId). */
+    /**
+     * All id slots. Index == CgroupId; a slot is null while its id sits
+     * on the free list after removeGroup(). Iterators must skip nulls.
+     */
     const std::vector<std::unique_ptr<Cgroup>> &groups() const
     {
         return groups_;
     }
 
-    Cgroup &group(CgroupId id) { return *groups_.at(id); }
-    const Cgroup &group(CgroupId id) const { return *groups_.at(id); }
+    /** Number of id slots ever allocated (bound for dense-id arrays). */
+    size_t idCapacity() const { return groups_.size(); }
+
+    /** Number of currently live groups (including the root). */
+    size_t liveGroupCount() const { return live_groups_; }
+
+    /**
+     * Bumped on every topology or knob mutation (create/remove,
+     * subtree_control, process attach/detach, any knob write). Gates
+     * key cached shares/limits on this and re-derive lazily.
+     */
+    uint64_t version() const { return version_; }
+
+    Cgroup &group(CgroupId id);
+    const Cgroup &group(CgroupId id) const;
 
     /**
      * Create a child group. Fails if the parent holds processes (v2
      * forbids sibling processes and groups receiving controllers) when
-     * the parent has the io controller enabled.
+     * the parent has the io controller enabled. Ids of removed groups
+     * are recycled LIFO, so long create/destroy churn does not grow the
+     * id space (or the gates' dense arrays) without bound.
      */
     Cgroup &createChild(Cgroup &parent, const std::string &name);
+
+    /**
+     * Destroy a group (rmdir). The group must be empty: no child
+     * groups, no attached processes. Removal listeners run first, while
+     * the group is still intact; then the id returns to the free list.
+     */
+    void removeGroup(Cgroup &group);
+
+    /**
+     * Register a removal listener; returns a token for removal. Order
+     * of notification is registration order.
+     */
+    size_t addRemovalListener(RemovalListener fn);
+
+    /** Unregister a listener (gates do this in their destructors). */
+    void removeRemovalListener(size_t token);
+
+    /**
+     * Resolve a slash-separated path relative to the root ("a/b/c");
+     * "" or "/" yields the root. Returns nullptr when missing.
+     */
+    Cgroup *resolve(const std::string &path);
 
     /** Enable the io controller for `group`'s children ("+io"). */
     void enableIoController(Cgroup &group);
@@ -189,14 +261,30 @@ class CgroupTree
      */
     double hierarchicalShare(const Cgroup &group, bool bfq) const;
 
+    /** True when the subtree rooted here contains any process. O(1). */
+    bool subtreeActive(const Cgroup &group) const
+    {
+        return group.subtreeProcessCount() > 0;
+    }
+
   private:
     void validateKnobWrite(Cgroup &group, const std::string &file) const;
 
-    /** True when the subtree rooted here contains any process. */
-    bool subtreeActive(const Cgroup &group) const;
+    void bumpVersion() { ++version_; }
 
     std::vector<std::unique_ptr<Cgroup>> groups_;
+    std::vector<CgroupId> free_ids_;
     Cgroup *root_;
+    size_t live_groups_ = 1;
+    uint64_t version_ = 1;
+
+    struct Listener
+    {
+        size_t token;
+        RemovalListener fn;
+    };
+    std::vector<Listener> removal_listeners_;
+    size_t next_listener_token_ = 0;
 
     std::map<DeviceId, IoCostModel> cost_models_;
     std::map<DeviceId, IoCostQos> cost_qos_;

@@ -196,19 +196,7 @@ Scenario::addApp(workload::JobSpec spec, const std::string &cgroup_name,
     if (device_index >= bdevs_.size())
         fatal("Scenario: bad device index");
 
-    // Find or create the leaf cgroup under the root.
-    cgroup::Cgroup *leaf = nullptr;
-    for (cgroup::Cgroup *child : tree_.root().children()) {
-        if (child->name() == cgroup_name) {
-            leaf = child;
-            break;
-        }
-    }
-    if (leaf == nullptr) {
-        if (!tree_.root().ioControllerEnabled())
-            tree_.enableIoController(tree_.root());
-        leaf = &tree_.createChild(tree_.root(), cgroup_name);
-    }
+    cgroup::Cgroup *leaf = ensureGroupPath(cgroup_name);
 
     auto slot = std::make_unique<AppSlot>();
     slot->cg = leaf;
@@ -254,14 +242,49 @@ Scenario::appGroup(uint32_t i)
     return *apps_.at(i)->cg;
 }
 
+cgroup::Cgroup *
+Scenario::ensureGroupPath(const std::string &path)
+{
+    // Walk/create a slash-separated path under the root, enabling the io
+    // controller at every interior level (cgroup v2 requires "+io" in the
+    // parent's subtree_control before child knobs work). Interior groups
+    // stay process-free — the no-internal-processes rule — so knobs like
+    // io.max on them act as shared subtree limits.
+    cgroup::Cgroup *node = &tree_.root();
+    size_t start = 0;
+    while (start <= path.size()) {
+        size_t slash = path.find('/', start);
+        size_t end = slash == std::string::npos ? path.size() : slash;
+        std::string part = path.substr(start, end - start);
+        if (!part.empty()) {
+            if (!node->ioControllerEnabled())
+                tree_.enableIoController(*node);
+            cgroup::Cgroup *next = nullptr;
+            for (cgroup::Cgroup *child : node->children()) {
+                if (child->name() == part) {
+                    next = child;
+                    break;
+                }
+            }
+            node = next != nullptr ? next
+                                   : &tree_.createChild(*node, part);
+        }
+        if (slash == std::string::npos)
+            break;
+        start = slash + 1;
+    }
+    if (node == &tree_.root())
+        fatal("Scenario: empty cgroup path");
+    return node;
+}
+
 cgroup::Cgroup &
 Scenario::group(const std::string &name)
 {
-    for (cgroup::Cgroup *child : tree_.root().children()) {
-        if (child->name() == name)
-            return *child;
-    }
-    fatal("Scenario: no cgroup named '" + name + "'");
+    cgroup::Cgroup *node = tree_.resolve(name);
+    if (node == nullptr || node == &tree_.root())
+        fatal("Scenario: no cgroup named '" + name + "'");
+    return *node;
 }
 
 std::string
@@ -346,6 +369,10 @@ Scenario::run()
         for (const auto &slot : apps_)
             total_iodepth += slot->job->spec().iodepth;
         inv_->finalCheck(total_iodepth);
+        // Hierarchical conservation: per-subtree gate counters must
+        // still reconcile bottom-up after the last event.
+        for (auto &bdev : bdevs_)
+            bdev->finalInvariantChecks();
     }
 
     sweep::ScenarioProfile profile;
@@ -359,6 +386,8 @@ Scenario::run()
     profile.peak_queue_depth = sim_.peakQueueDepth();
     profile.invariant_checks = inv_ ? inv_->checksPerformed() : 0;
     profile.adversary_tenants = adversaryTenants();
+    for (auto &bdev : bdevs_)
+        profile.gate_bookkeeping_ops += bdev->gateBookkeepingOps();
     sweep::recordProfile(std::move(profile));
 
     // A run that finishes with inconsistent counters must not flow into

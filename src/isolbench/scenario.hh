@@ -148,9 +148,14 @@ class Scenario
     ssd::SsdDevice &ssd(uint32_t i);
 
     /**
-     * Add an app running `spec` inside cgroup `cgroup_name` (created
-     * under the root on first use; several apps may share one group)
-     * against device `device_index`. Returns the app index.
+     * Add an app running `spec` inside cgroup `cgroup_name` against
+     * device `device_index`. Returns the app index.
+     *
+     * The name may be a slash path ("pods/a/lc"): interior groups are
+     * created on first use with the io controller enabled at each level,
+     * so knobs written on them act hierarchically (interior io.max =
+     * shared subtree limit; interior io.weight splits across child
+     * subtrees). Several apps may share one leaf group.
      */
     uint32_t addApp(workload::JobSpec spec, const std::string &cgroup_name,
                     uint32_t device_index = 0);
@@ -170,7 +175,8 @@ class Scenario
     /** Leaf cgroup of app `i`. */
     cgroup::Cgroup &appGroup(uint32_t i);
 
-    /** Cgroup named `name` (must have been created by addApp). */
+    /** Cgroup at `name` — a root-relative slash path ("pods/a/lc") or a
+     *  flat name; must already exist (created by addApp). */
     cgroup::Cgroup &group(const std::string &name);
 
     /** Run the simulation to `cfg.duration`. Call once. */
@@ -203,6 +209,10 @@ class Scenario
     struct AppSlot;
 
     void buildDevices();
+
+    /** Find-or-create the cgroup at a slash path, enabling +io at every
+     *  interior level on the way down. */
+    cgroup::Cgroup *ensureGroupPath(const std::string &path);
 
     /** " [scenario ..., busiest tenant ...]" blame for guard aborts. */
     std::string blameDetail() const;

@@ -82,7 +82,9 @@ appendJsonProfile(std::string &out, const ScenarioProfile &p)
                   formatDouble(p.events_per_sec, 0),
                   ", \"peak_queue_depth\": ", p.peak_queue_depth,
                   ", \"invariant_checks\": ", p.invariant_checks,
-                  ", \"adversary_tenants\": ", p.adversary_tenants, "}");
+                  ", \"adversary_tenants\": ", p.adversary_tenants,
+                  ", \"gate_bookkeeping_ops\": ", p.gate_bookkeeping_ops,
+                  "}");
 }
 
 } // namespace
@@ -241,6 +243,7 @@ profileSummary()
             summary.peak_queue_depth = p.peak_queue_depth;
         summary.invariant_checks += p.invariant_checks;
         summary.adversary_tenants += p.adversary_tenants;
+        summary.gate_bookkeeping_ops += p.gate_bookkeeping_ops;
     }
     if (summary.wall_ms > 0.0) {
         summary.events_per_sec = static_cast<double>(summary.events) /
@@ -276,6 +279,8 @@ writeProfileJson(const std::string &path)
     out += strCat("  \"peak_queue_depth\": ", s.peak_queue_depth, ",\n");
     out += strCat("  \"invariant_checks\": ", s.invariant_checks, ",\n");
     out += strCat("  \"adversary_tenants\": ", s.adversary_tenants,
+                  ",\n");
+    out += strCat("  \"gate_bookkeeping_ops\": ", s.gate_bookkeeping_ops,
                   ",\n");
     out += "  \"per_scenario\": [\n";
     for (size_t i = 0; i < all.size(); ++i) {

@@ -142,6 +142,14 @@ struct ScenarioProfile
     uint64_t invariant_checks = 0;
     /** Tenants tagged with an adversary profile (chaos coverage). */
     uint64_t adversary_tenants = 0;
+    /**
+     * Per-cgroup bookkeeping operations inside the gates and elevators
+     * (share recomputes, chain charge walks, window/queue scans), summed
+     * over all devices. Deterministic event counts — with `events` they
+     * give the fleet benches a "bookkeeping share" per scenario showing
+     * where gate state handling becomes the scaling bottleneck.
+     */
+    uint64_t gate_bookkeeping_ops = 0;
 };
 
 /** Record one profile (thread-safe; called by Scenario::run()). */
@@ -163,6 +171,7 @@ struct ProfileSummary
     uint64_t peak_queue_depth = 0; //!< max across scenarios
     uint64_t invariant_checks = 0; //!< summed runtime invariant checks
     uint64_t adversary_tenants = 0; //!< summed adversarial tenants
+    uint64_t gate_bookkeeping_ops = 0; //!< summed gate bookkeeping work
 };
 
 ProfileSummary profileSummary();

@@ -100,21 +100,29 @@ InvariantChecker::onFail(const void *group)
 }
 
 void
-InvariantChecker::checkMonotonic(const void *key, const char *what,
-                                 const std::string &label, double value)
+InvariantChecker::checkMonotonicAt(double &last, const char *what,
+                                   const std::string &label, double value)
 {
     // Tiny backward drift tolerance for double-typed series (io.cost
     // vtime sums floating-point charges).
     constexpr double kEps = 1e-6;
-    auto it = last_value_.find(key);
-    double last = it != last_value_.end() ? it->second : 0.0;
     require(value >= last - kEps, what,
             strCat(label, ": ", formatDouble(value, 3),
                    " moved backwards from ", formatDouble(last, 3)));
-    if (it != last_value_.end())
-        it->second = value;
-    else
-        last_value_.emplace(key, value);
+    last = value;
+}
+
+void
+InvariantChecker::checkHierarchy(const char *what, const std::string &label,
+                                 double child_sum, double parent_total)
+{
+    // Relative tolerance: both sides accumulate floating-point charges
+    // request by request, so allow proportional drift plus a floor.
+    double slack = 1e-9 * (parent_total < 1.0 ? 1.0 : parent_total) + 1e-6;
+    require(child_sum <= parent_total + slack, what,
+            strCat(label, ": children consumed ",
+                   formatDouble(child_sum, 3), " but the parent was only "
+                   "charged ", formatDouble(parent_total, 3)));
 }
 
 void

@@ -15,6 +15,10 @@
  *    moves backwards;
  *  - io.max token buckets: `next_free` is non-negative and monotone
  *    (consuming credit can only push the horizon forward);
+ *  - hierarchical conservation: a parent's charge total covers the sum
+ *    of its children's (children are only ever charged via walks that
+ *    charge every ancestor, so a child sum exceeding the parent grant
+ *    means a charge/refund skipped a level);
  *  - io.latency window accounting: per-group in-flight respects the
  *    queue-depth limit on admission and never underflows on completion;
  *  - elevator no-lost/no-duplicated-request: every inserted request is
@@ -89,11 +93,27 @@ class InvariantChecker
     void require(bool ok, const char *what, const std::string &detail);
 
     /**
-     * Assert the series identified by `key` never decreases. The first
-     * observation also checks non-negativity (series start at 0).
+     * Assert a series never decreases. The caller owns the series
+     * storage (`last`, initially 0 — which also makes the first
+     * observation a non-negativity check) and keeps it alongside the
+     * state the series describes; with thousands of tracked series,
+     * that beats a central pointer-keyed map whose keys would dangle
+     * when gate state moves on arena growth or swap-remove.
      */
-    void checkMonotonic(const void *key, const char *what,
-                        const std::string &label, double value);
+    void checkMonotonicAt(double &last, const char *what,
+                          const std::string &label, double value);
+
+    // --- Hierarchical conservation ---
+
+    /**
+     * Assert that the children of one node consumed no more than the
+     * node itself was charged (`child_sum` <= `parent_total` within a
+     * relative epsilon for float accumulation). Gates call this along
+     * their O(depth) charge walks, so a skipped ancestor level trips at
+     * the first request it misaccounts.
+     */
+    void checkHierarchy(const char *what, const std::string &label,
+                        double child_sum, double parent_total);
 
     // --- Elevator conservation ---
 
@@ -137,9 +157,6 @@ class InvariantChecker
     // always walks the creation-order deque
     std::unordered_map<const void *, size_t> group_index_;
     std::deque<Group> groups_;
-
-    // isol-lint: allow(D1): membership tests only, never iterated
-    std::unordered_map<const void *, double> last_value_;
 
     // isol-lint: allow(D1): membership tests only, never iterated
     std::unordered_set<const void *> elevator_pending_;

@@ -42,6 +42,8 @@ cgroupFaultTable(const cgroup::CgroupTree &tree, bool include_zero)
 {
     Table table({"cgroup", "timeouts", "requeues", "retry_ok", "failed"});
     for (const auto &group : tree.groups()) {
+        if (!group) // removed group: id slot parked on the free list
+            continue;
         const cgroup::Cgroup::IoFaultStat &st = group->ioFaultStat();
         bool zero = st.timeouts == 0 && st.requeues == 0 &&
                     st.retry_successes == 0 && st.failed_ios == 0;

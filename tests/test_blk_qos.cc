@@ -59,7 +59,7 @@ struct QosFixture : public ::testing::Test
 TEST_F(QosFixture, IoMaxUnlimitedPassesImmediately)
 {
     int passed = 0;
-    IoMaxGate gate(sim, 0, [&](Request *) { ++passed; });
+    IoMaxGate gate(sim, 0, tree, [&](Request *) { ++passed; });
     gate.submit(makeReq(cg_a));
     EXPECT_EQ(passed, 1);
     EXPECT_EQ(gate.throttled(), 0u);
@@ -70,7 +70,7 @@ TEST_F(QosFixture, IoMaxEnforcesBandwidth)
     // 4 MiB/s limit, 4 KiB requests -> 1024 IOPS.
     tree.writeFile(*cg_a, "io.max", "259:0 rbps=4194304");
     uint64_t passed_bytes = 0;
-    IoMaxGate gate(sim, 0,
+    IoMaxGate gate(sim, 0, tree,
                    [&](Request *req) { passed_bytes += req->size; });
     // Offer 4x the limit for one second.
     for (int i = 0; i < 4096; ++i)
@@ -87,7 +87,7 @@ TEST_F(QosFixture, IoMaxEnforcesIops)
 {
     tree.writeFile(*cg_a, "io.max", "259:0 riops=1000");
     int passed = 0;
-    IoMaxGate gate(sim, 0, [&](Request *) { ++passed; });
+    IoMaxGate gate(sim, 0, tree, [&](Request *) { ++passed; });
     for (int i = 0; i < 4000; ++i)
         gate.submit(makeReq(cg_a));
     sim.runUntil(secToNs(int64_t{1}));
@@ -99,7 +99,7 @@ TEST_F(QosFixture, IoMaxSeparatesReadsAndWrites)
 {
     tree.writeFile(*cg_a, "io.max", "259:0 rbps=4194304");
     int writes_passed = 0;
-    IoMaxGate gate(sim, 0, [&](Request *req) {
+    IoMaxGate gate(sim, 0, tree, [&](Request *req) {
         writes_passed += req->op == OpType::kWrite;
     });
     // Writes are unlimited: all pass immediately.
@@ -112,7 +112,7 @@ TEST_F(QosFixture, IoMaxPerCgroupIndependent)
 {
     tree.writeFile(*cg_a, "io.max", "259:0 riops=100");
     int b_passed = 0;
-    IoMaxGate gate(sim, 0,
+    IoMaxGate gate(sim, 0, tree,
                    [&](Request *req) { b_passed += req->cg == cg_b; });
     for (int i = 0; i < 50; ++i) {
         gate.submit(makeReq(cg_a));
@@ -126,7 +126,7 @@ TEST_F(QosFixture, IoMaxIdleCreditCapped)
 {
     tree.writeFile(*cg_a, "io.max", "259:0 riops=1000");
     int passed = 0;
-    IoMaxGate gate(sim, 0, [&](Request *) { ++passed; });
+    IoMaxGate gate(sim, 0, tree, [&](Request *) { ++passed; });
     // Idle for 10 seconds: must NOT bank 10k IOs of credit.
     sim.runUntil(secToNs(int64_t{10}));
     for (int i = 0; i < 2000; ++i)
@@ -141,7 +141,7 @@ TEST_F(QosFixture, IoMaxFifoWithinCgroup)
 {
     tree.writeFile(*cg_a, "io.max", "259:0 riops=100");
     std::vector<Request *> order;
-    IoMaxGate gate(sim, 0, [&](Request *req) { order.push_back(req); });
+    IoMaxGate gate(sim, 0, tree, [&](Request *req) { order.push_back(req); });
     Request *r1 = makeReq(cg_a);
     Request *r2 = makeReq(cg_a);
     Request *r3 = makeReq(cg_a);
@@ -160,7 +160,7 @@ TEST_F(QosFixture, IoMaxFifoWithinCgroup)
 TEST_F(QosFixture, IoLatencyPassesWithinQd)
 {
     int passed = 0;
-    IoLatencyGate gate(sim, 0, [&](Request *) { ++passed; });
+    IoLatencyGate gate(sim, 0, tree, [&](Request *) { ++passed; });
     gate.start();
     gate.submit(makeReq(cg_a));
     EXPECT_EQ(passed, 1);
@@ -170,7 +170,7 @@ TEST_F(QosFixture, IoLatencyPassesWithinQd)
 TEST_F(QosFixture, IoLatencyHalvesVictimQdOncePerWindow)
 {
     tree.writeFile(*cg_a, "io.latency", "259:0 target=100");
-    IoLatencyGate gate(sim, 0, [](Request *) {});
+    IoLatencyGate gate(sim, 0, tree, [](Request *) {});
     gate.start();
     gate.qdLimit(cg_b); // register the victim group with the gate
 
@@ -191,7 +191,7 @@ TEST_F(QosFixture, IoLatencyFullThrottleTakesTenWindows)
 {
     // O10: QD 1024 -> 1 takes ~10 halvings at one per 500 ms window.
     tree.writeFile(*cg_a, "io.latency", "259:0 target=100");
-    IoLatencyGate gate(sim, 0, [](Request *) {});
+    IoLatencyGate gate(sim, 0, tree, [](Request *) {});
     gate.start();
     gate.qdLimit(cg_b); // register the victim group with the gate
 
@@ -216,7 +216,7 @@ TEST_F(QosFixture, IoLatencyFullThrottleTakesTenWindows)
 TEST_F(QosFixture, IoLatencyUnthrottlesInQuarterSteps)
 {
     tree.writeFile(*cg_a, "io.latency", "259:0 target=100");
-    IoLatencyGate gate(sim, 0, [](Request *) {});
+    IoLatencyGate gate(sim, 0, tree, [](Request *) {});
     gate.start();
     gate.qdLimit(cg_b); // register the victim group with the gate
     // One violated window throttles cg_b to 512.
@@ -240,7 +240,7 @@ TEST_F(QosFixture, IoLatencyUseDelayBlocksRecovery)
     tree.writeFile(*cg_a, "io.latency", "259:0 target=100");
     IoLatencyParams params;
     params.max_nr_requests = 4; // tiny so QD 1 is reached quickly
-    IoLatencyGate gate(sim, 0, [](Request *) {}, params);
+    IoLatencyGate gate(sim, 0, tree, [](Request *) {}, params);
     gate.start();
     gate.qdLimit(cg_b); // register the victim group with the gate
 
@@ -273,7 +273,7 @@ TEST_F(QosFixture, IoLatencyQdGateQueues)
     IoLatencyParams params;
     params.max_nr_requests = 2;
     int passed = 0;
-    IoLatencyGate gate(sim, 0, [&](Request *) { ++passed; }, params);
+    IoLatencyGate gate(sim, 0, tree, [&](Request *) { ++passed; }, params);
     gate.start();
     Request *r1 = makeReq(cg_a);
     Request *r2 = makeReq(cg_a);
@@ -542,6 +542,75 @@ TEST_F(QosFixture, IoCostFifoWithinGroup)
     ASSERT_GE(order.size(), 2u);
     EXPECT_EQ(order[0], r1);
     EXPECT_EQ(order[1], r2);
+}
+
+// --- Gate state compaction on cgroup removal ---
+
+TEST_F(QosFixture, IoCostGateCompactsStateOnCgroupRemoval)
+{
+    // Regression: per-group state used to live in a creation-order deque
+    // that was never compacted, so a long-lived gate leaked an entry per
+    // cgroup ever seen. Removal must swap-remove the state and the
+    // shares must renormalise over the survivors.
+    tree.writeFile(*cg_a, "io.weight", "300");
+    tree.writeFile(*cg_b, "io.weight", "100");
+    IoCostGate gate(sim, 0, tree, [](Request *) {});
+    gate.submit(makeReq(cg_a));
+    gate.submit(makeReq(cg_b));
+    sim.runUntil(msToNs(10)); // drain so cg_a's queue is empty
+    ASSERT_EQ(gate.trackedGroups(), 2u);
+    EXPECT_NEAR(gate.shareOf(cg_a), 0.75, 1e-9);
+
+    tree.detachProcess(*cg_a);
+    tree.removeGroup(*cg_a);
+    cg_a = nullptr;
+    EXPECT_EQ(gate.trackedGroups(), 1u);
+    // The survivor (moved by the swap-remove) keeps working and now
+    // owns the whole device.
+    EXPECT_NEAR(gate.shareOf(cg_b), 1.0, 1e-9);
+    gate.submit(makeReq(cg_b));
+    EXPECT_NEAR(gate.shareOf(cg_b), 1.0, 1e-9);
+}
+
+TEST_F(QosFixture, RecycledCgroupIdGetsFreshGateState)
+{
+    // Removal returns the dense id to the tree's free list; a new group
+    // reusing that id must not inherit the old group's vtime or charges.
+    IoCostGate gate(sim, 0, tree, [](Request *) {});
+    gate.submit(makeReq(cg_a, OpType::kRead, 64 * KiB));
+    sim.runUntil(msToNs(10));
+    EXPECT_GT(gate.subtreeAbsOf(cg_a), 0.0);
+
+    cgroup::CgroupId old_id = cg_a->id();
+    tree.detachProcess(*cg_a);
+    tree.removeGroup(*cg_a);
+    cgroup::Cgroup &fresh = tree.createChild(tree.root(), "fresh");
+    ASSERT_EQ(fresh.id(), old_id); // LIFO id recycling
+    tree.attachProcess(fresh);
+    cg_a = nullptr;
+
+    EXPECT_DOUBLE_EQ(gate.subtreeAbsOf(&fresh), 0.0);
+    gate.submit(makeReq(&fresh));
+    EXPECT_GT(gate.subtreeAbsOf(&fresh), 0.0);
+}
+
+TEST_F(QosFixture, IoMaxAndLatencyGatesDropRemovedGroups)
+{
+    IoMaxGate max_gate(sim, 0, tree, [](Request *) {});
+    IoLatencyGate lat_gate(sim, 0, tree, [](Request *) {});
+    Request *req = makeReq(cg_a);
+    max_gate.submit(req);
+    lat_gate.submit(req);
+    lat_gate.onComplete(req);
+    max_gate.submit(makeReq(cg_b));
+    ASSERT_EQ(max_gate.trackedGroups(), 2u);
+    ASSERT_EQ(lat_gate.trackedGroups(), 1u);
+
+    tree.detachProcess(*cg_a);
+    tree.removeGroup(*cg_a);
+    cg_a = nullptr;
+    EXPECT_EQ(max_gate.trackedGroups(), 1u);
+    EXPECT_EQ(lat_gate.trackedGroups(), 0u);
 }
 
 } // namespace

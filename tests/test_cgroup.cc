@@ -353,5 +353,126 @@ TEST(CgroupTree, SubtreeControlDisable)
                  FatalError);
 }
 
+TEST(CgroupTree, ChainAndDepthCached)
+{
+    CgroupTree tree;
+    Cgroup &a = tree.createChild(tree.root(), "a");
+    Cgroup &b = tree.createChild(a, "b");
+    Cgroup &c = tree.createChild(b, "c");
+    EXPECT_EQ(tree.root().depth(), 0u);
+    EXPECT_EQ(a.depth(), 1u);
+    EXPECT_EQ(c.depth(), 3u);
+    // Chain is self-first, excludes the root.
+    ASSERT_EQ(c.chain().size(), 3u);
+    EXPECT_EQ(c.chain()[0], c.id());
+    EXPECT_EQ(c.chain()[1], b.id());
+    EXPECT_EQ(c.chain()[2], a.id());
+    EXPECT_TRUE(tree.root().chain().empty());
+}
+
+TEST(CgroupTree, ResolvePaths)
+{
+    CgroupTree tree;
+    Cgroup &a = tree.createChild(tree.root(), "a");
+    Cgroup &b = tree.createChild(a, "b");
+    EXPECT_EQ(tree.resolve(""), &tree.root());
+    EXPECT_EQ(tree.resolve("/"), &tree.root());
+    EXPECT_EQ(tree.resolve("a"), &a);
+    EXPECT_EQ(tree.resolve("a/b"), &b);
+    EXPECT_EQ(tree.resolve("a/b/"), &b);
+    EXPECT_EQ(tree.resolve("a/x"), nullptr);
+    EXPECT_EQ(tree.resolve("nope"), nullptr);
+}
+
+TEST(CgroupTree, RemoveGroupRules)
+{
+    CgroupTree tree;
+    Cgroup &a = tree.createChild(tree.root(), "a");
+    Cgroup &b = tree.createChild(a, "b");
+    // rmdir semantics: no children, no processes, never the root.
+    EXPECT_THROW(tree.removeGroup(tree.root()), FatalError);
+    EXPECT_THROW(tree.removeGroup(a), FatalError); // has child b
+    tree.attachProcess(b);
+    EXPECT_THROW(tree.removeGroup(b), FatalError); // has a process
+    tree.detachProcess(b);
+    tree.removeGroup(b);
+    tree.removeGroup(a);
+    EXPECT_EQ(tree.liveGroupCount(), 1u);
+    EXPECT_EQ(tree.resolve("a"), nullptr);
+}
+
+TEST(CgroupTree, RemovalRecyclesIdsLifo)
+{
+    CgroupTree tree;
+    Cgroup &a = tree.createChild(tree.root(), "a");
+    Cgroup &b = tree.createChild(tree.root(), "b");
+    CgroupId id_a = a.id();
+    CgroupId id_b = b.id();
+    uint32_t cap = tree.idCapacity();
+    tree.removeGroup(a);
+    tree.removeGroup(b);
+    // LIFO: the most recently freed id comes back first.
+    EXPECT_EQ(tree.createChild(tree.root(), "c").id(), id_b);
+    EXPECT_EQ(tree.createChild(tree.root(), "d").id(), id_a);
+    EXPECT_EQ(tree.idCapacity(), cap);
+}
+
+TEST(CgroupTree, RemovalListenersFireWhileGroupIntact)
+{
+    CgroupTree tree;
+    Cgroup &a = tree.createChild(tree.root(), "a");
+    std::string seen;
+    size_t token = tree.addRemovalListener(
+        [&seen](Cgroup &cg) { seen = cg.path(); });
+    tree.removeGroup(a);
+    EXPECT_EQ(seen, "/a");
+    tree.removeRemovalListener(token);
+    Cgroup &b = tree.createChild(tree.root(), "b");
+    seen.clear();
+    tree.removeGroup(b);
+    EXPECT_TRUE(seen.empty());
+}
+
+TEST(CgroupTree, VersionBumpsOnStructuralAndKnobChanges)
+{
+    CgroupTree tree;
+    tree.enableIoController(tree.root());
+    uint64_t v0 = tree.version();
+    Cgroup &a = tree.createChild(tree.root(), "a");
+    EXPECT_GT(tree.version(), v0);
+    uint64_t v1 = tree.version();
+    tree.writeFile(a, "io.weight", "200");
+    EXPECT_GT(tree.version(), v1);
+    uint64_t v2 = tree.version();
+    tree.attachProcess(a);
+    EXPECT_GT(tree.version(), v2);
+    uint64_t v3 = tree.version();
+    tree.detachProcess(a);
+    tree.removeGroup(a);
+    EXPECT_GT(tree.version(), v3);
+}
+
+TEST(CgroupTree, SubtreeProcessCountsMaintained)
+{
+    CgroupTree tree;
+    Cgroup &a = tree.createChild(tree.root(), "a");
+    Cgroup &b = tree.createChild(a, "b");
+    Cgroup &c = tree.createChild(a, "c");
+    tree.attachProcess(b);
+    tree.attachProcess(b);
+    tree.attachProcess(c);
+    EXPECT_EQ(b.subtreeProcessCount(), 2u);
+    EXPECT_EQ(a.subtreeProcessCount(), 3u);
+    EXPECT_EQ(tree.root().subtreeProcessCount(), 3u);
+    EXPECT_TRUE(tree.subtreeActive(a));
+    tree.detachProcess(b);
+    tree.detachProcess(b);
+    EXPECT_EQ(a.subtreeProcessCount(), 1u);
+    EXPECT_TRUE(tree.subtreeActive(a));
+    tree.detachProcess(c);
+    EXPECT_FALSE(tree.subtreeActive(a));
+    EXPECT_EQ(tree.root().subtreeProcessCount(), 0u);
+}
+
 } // namespace
 } // namespace isol::cgroup

@@ -18,6 +18,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "blk/bfq.hh"
+#include "blk/qos_cost.hh"
+#include "blk/qos_latency.hh"
+#include "blk/qos_max.hh"
 #include "common/alloc_hook.hh"
 #include "common/strings.hh"
 #include "isolbench/scenario.hh"
@@ -73,6 +80,85 @@ TEST(ZeroAlloc, SteadyStateHotPathDoesNotAllocate)
     EXPECT_LT(per_io, 0.01)
         << counters.allocs << " allocations over " << ios
         << " steady-state I/Os (" << counters.bytes << " bytes)";
+}
+
+TEST(ZeroAlloc, CgroupChurnReleasesGateState)
+{
+    if (!common::allocCountingEnabled())
+        GTEST_SKIP() << "built without ISOL_COUNT_ALLOCS";
+
+    // 1000 cgroups created, exercised through all four per-cgroup state
+    // holders (io.cost, io.max, io.latency, bfq), then removed — in
+    // batches, so the arenas see constant churn. Removal listeners must
+    // drop every per-group state and the tree must recycle ids: neither
+    // gate state nor id capacity may grow with the total number of
+    // groups ever created, and heap traffic must balance out.
+    sim::Simulator sim;
+    cgroup::CgroupTree tree;
+    tree.writeFile(tree.root(), "cgroup.subtree_control", "+io");
+
+    blk::IoCostGate cost(sim, 0, tree, [](blk::Request *) {});
+    blk::IoMaxGate iomax(sim, 0, tree, [](blk::Request *) {});
+    blk::IoLatencyGate iolat(sim, 0, tree, [](blk::Request *) {});
+    blk::BfqParams bfq_params;
+    bfq_params.slice_idle = 0; // drain synchronously between batches
+    blk::Bfq bfq(sim, tree, bfq_params);
+
+    auto exercise = [&](cgroup::Cgroup &cg, blk::Request &req) {
+        req.op = OpType::kRead;
+        req.size = 4096;
+        req.cg = &cg;
+        req.blk_enter_time = sim.now();
+        req.dispatch_time = sim.now();
+        cost.submit(&req);
+        iomax.submit(&req);
+        iolat.submit(&req);
+        iolat.onComplete(&req);
+        bfq.insert(&req);
+        while (bfq.selectNext() != nullptr) {
+        }
+    };
+
+    // Warm the arenas with one throwaway batch before measuring, so
+    // first-growth reallocations don't count against the churn.
+    constexpr int kBatch = 8;
+    constexpr int kBatches = 125; // kBatch * kBatches = 1000 groups
+    blk::Request req;
+    for (int b = 0; b < kBatches + 1; ++b) {
+        if (b == 1)
+            common::resetAllocCounters();
+        std::vector<cgroup::Cgroup *> batch;
+        for (int i = 0; i < kBatch; ++i) {
+            cgroup::Cgroup &cg =
+                tree.createChild(tree.root(), strCat("churn", i));
+            tree.attachProcess(cg);
+            tree.writeFile(cg, "io.weight", "200");
+            exercise(cg, req);
+            batch.push_back(&cg);
+        }
+        for (cgroup::Cgroup *cg : batch) {
+            tree.detachProcess(*cg);
+            tree.removeGroup(*cg);
+        }
+    }
+
+    // Every gate dropped every removed group's state...
+    EXPECT_EQ(cost.trackedGroups(), 0u);
+    EXPECT_EQ(iomax.trackedGroups(), 0u);
+    EXPECT_EQ(iolat.trackedGroups(), 0u);
+    EXPECT_EQ(bfq.trackedQueues(), 0u);
+    // ...the tree recycled ids instead of growing its slot table...
+    EXPECT_EQ(tree.liveGroupCount(), 1u);
+    EXPECT_LE(tree.idCapacity(), static_cast<uint32_t>(2 * kBatch + 1));
+
+    // ...and the heap balanced: what the churn allocated, removal freed.
+    common::AllocCounters counters = common::allocCounters();
+    EXPECT_GT(counters.frees, 0u);
+    int64_t outstanding = static_cast<int64_t>(counters.allocs) -
+                          static_cast<int64_t>(counters.frees);
+    EXPECT_LT(outstanding, 64)
+        << counters.allocs << " allocs vs " << counters.frees
+        << " frees across " << kBatch * kBatches << " churned groups";
 }
 
 } // namespace

@@ -20,6 +20,15 @@ Gated metrics:
 A hard floor is also enforced: the clustered-horizon speedup over the
 4-ary heap may never drop below --min-clustered-speedup (default 1.8;
 the committed baseline is >= 2x, the floor leaves noise headroom).
+
+With --fleet-sweep, the gate additionally reads a BENCH_sweep.json
+produced by `bench/fleet_scale` and enforces an absolute events/sec
+floor on every 1024-tenant per-scenario entry (names starting with
+--fleet-prefix, default "fleet_t1024"). The floor is deliberately far
+below the reference machine's numbers (io.cost ~330k, io.max ~2.5M
+events/sec) so it only trips on gross bookkeeping blow-ups — e.g. a
+per-cgroup walk going O(groups) instead of O(depth) — not on runner
+speed.
 """
 
 import argparse
@@ -60,26 +69,46 @@ def lookup(doc, dotted):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline",
                         help="committed BENCH_micro.json")
-    parser.add_argument("--candidate", required=True,
+    parser.add_argument("--candidate",
                         help="freshly generated BENCH_micro.json")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional regression (default 0.15)")
     parser.add_argument("--min-clustered-speedup", type=float, default=1.8,
                         help="hard floor for clustered speedup vs the "
                              "4-ary heap (default 1.8)")
+    parser.add_argument("--fleet-sweep",
+                        help="BENCH_sweep.json from bench/fleet_scale; "
+                             "enables the fleet events/sec floor")
+    parser.add_argument("--fleet-prefix", default="fleet_t1024",
+                        help="per-scenario name prefix the fleet floor "
+                             "applies to (default fleet_t1024)")
+    parser.add_argument("--min-fleet-events-per-sec", type=float,
+                        default=50000.0,
+                        help="hard events/sec floor for each matching "
+                             "fleet scenario (default 50000)")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.candidate) as f:
-        candidate = json.load(f)
+    if bool(args.baseline) != bool(args.candidate):
+        parser.error("--baseline and --candidate must be given together")
+    if not args.baseline and not args.fleet_sweep:
+        parser.error("nothing to gate: pass --baseline/--candidate "
+                     "and/or --fleet-sweep")
 
     failures = []
     skipped = []
 
-    for dotted, higher_is_better in RELATIVE_METRICS:
+    baseline = {}
+    candidate = {}
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.candidate) as f:
+            candidate = json.load(f)
+
+    for dotted, higher_is_better in (RELATIVE_METRICS if args.baseline
+                                     else []):
         base = lookup(baseline, dotted)
         cand = lookup(candidate, dotted)
         if base is None or cand is None:
@@ -103,7 +132,7 @@ def main():
 
     alloc_counting = candidate.get("alloc_counting", False) and \
         baseline.get("alloc_counting", False)
-    for dotted in ALLOC_METRICS:
+    for dotted in ALLOC_METRICS if args.baseline else []:
         base = lookup(baseline, dotted)
         cand = lookup(candidate, dotted)
         if not alloc_counting or base is None or cand is None:
@@ -117,17 +146,37 @@ def main():
         if not ok:
             failures.append(dotted)
 
-    clustered = lookup(candidate,
-                       "event_queue_horizons.clustered.speedup_vs_heap")
-    if clustered is None:
-        skipped.append("clustered speedup floor")
-    else:
-        ok = clustered >= args.min_clustered_speedup
-        status = "ok  " if ok else "FAIL"
-        print(f"{status} clustered speedup floor: {clustered:.3f} "
-              f"(need >= {args.min_clustered_speedup:.3f})")
-        if not ok:
-            failures.append("clustered speedup floor")
+    if args.baseline:
+        clustered = lookup(candidate,
+                           "event_queue_horizons.clustered.speedup_vs_heap")
+        if clustered is None:
+            skipped.append("clustered speedup floor")
+        else:
+            ok = clustered >= args.min_clustered_speedup
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} clustered speedup floor: {clustered:.3f} "
+                  f"(need >= {args.min_clustered_speedup:.3f})")
+            if not ok:
+                failures.append("clustered speedup floor")
+
+    if args.fleet_sweep:
+        with open(args.fleet_sweep) as f:
+            sweep = json.load(f)
+        matched = [p for p in sweep.get("per_scenario", [])
+                   if p.get("name", "").startswith(args.fleet_prefix)]
+        if not matched:
+            print(f"FAIL fleet floor: no per_scenario entries match "
+                  f"prefix '{args.fleet_prefix}' in {args.fleet_sweep}")
+            failures.append("fleet scenarios present")
+        for prof in matched:
+            name = prof["name"]
+            eps = prof.get("events_per_sec", 0)
+            ok = eps >= args.min_fleet_events_per_sec
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} fleet events/sec floor: {name} {eps:.0f} "
+                  f"(need >= {args.min_fleet_events_per_sec:.0f})")
+            if not ok:
+                failures.append(f"fleet floor {name}")
 
     for dotted in skipped:
         print(f"skip {dotted}: missing in baseline or candidate")
