@@ -431,9 +431,9 @@ BM_EventQueueCascade(benchmark::State &state)
         int depth = 0;
         std::function<void()> chain = [&] {
             if (++depth < 4096)
-                sim.after(10, chain);
+                sim.after(nsToNs(10), chain);
         };
-        sim.after(10, chain);
+        sim.after(nsToNs(10), chain);
         sim.runAll();
         benchmark::DoNotOptimize(depth);
     }

@@ -1,3 +1,4 @@
+// isol: domain(blk)
 #include "blk/bfq.hh"
 
 #include <algorithm>

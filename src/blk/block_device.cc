@@ -1,3 +1,4 @@
+// isol: domain(blk)
 #include "blk/block_device.hh"
 
 #include <algorithm>

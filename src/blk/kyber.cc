@@ -1,3 +1,4 @@
+// isol: domain(blk)
 #include "blk/kyber.hh"
 
 #include <algorithm>

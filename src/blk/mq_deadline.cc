@@ -1,3 +1,4 @@
+// isol: domain(blk)
 #include "blk/mq_deadline.hh"
 
 namespace isol::blk

@@ -1,3 +1,4 @@
+// isol: domain(blk)
 #include "blk/qos_latency.hh"
 
 #include <algorithm>

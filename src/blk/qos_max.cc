@@ -1,3 +1,4 @@
+// isol: domain(blk)
 #include "blk/qos_max.hh"
 
 #include <algorithm>

@@ -2,6 +2,7 @@
  * @file
  * Block-layer request type and related enums.
  */
+// isol: domain(blk)
 
 #ifndef ISOL_BLK_REQUEST_HH
 #define ISOL_BLK_REQUEST_HH

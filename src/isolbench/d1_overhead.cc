@@ -1,3 +1,4 @@
+// isol: domain(coord)
 #include "isolbench/d1_overhead.hh"
 
 #include "common/logging.hh"

@@ -1,3 +1,4 @@
+// isol: domain(coord)
 #include "isolbench/d2_fairness.hh"
 
 #include "common/logging.hh"

@@ -1,3 +1,4 @@
+// isol: domain(coord)
 #include "isolbench/d3_tradeoffs.hh"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// isol: domain(coord)
 #include "isolbench/d4_bursts.hh"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// isol: domain(coord)
 #include "isolbench/d5_degradation.hh"
 
 #include <cstdio>

@@ -1,3 +1,4 @@
+// isol: domain(coord)
 #include "isolbench/scenario.hh"
 
 #include <algorithm>

@@ -17,6 +17,7 @@
  *   s.run();
  *   double p99 = nsToUs(s.app(a).latency().percentile(99));
  */
+// isol: domain(coord)
 
 #ifndef ISOL_ISOLBENCH_SCENARIO_HH
 #define ISOL_ISOLBENCH_SCENARIO_HH

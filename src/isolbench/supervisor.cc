@@ -1,3 +1,4 @@
+// isol: domain(coord)
 #include "isolbench/supervisor.hh"
 
 #include <algorithm>

@@ -30,6 +30,7 @@
  * but no checkpointing. Every sweep records a SweepReport; benches
  * print the aggregate failure table on stderr next to the self-profiler.
  */
+// isol: domain(coord)
 
 #ifndef ISOL_ISOLBENCH_SUPERVISOR_HH
 #define ISOL_ISOLBENCH_SUPERVISOR_HH

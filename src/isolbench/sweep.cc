@@ -1,3 +1,4 @@
+// isol: domain(coord)
 #include "isolbench/sweep.hh"
 
 #include <atomic>

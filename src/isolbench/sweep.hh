@@ -20,6 +20,7 @@
  * so the perf trajectory is trackable across PRs. Profiling goes to
  * stderr/JSON only — stdout stays deterministic.
  */
+// isol: domain(coord)
 
 #ifndef ISOL_ISOLBENCH_SWEEP_HH
 #define ISOL_ISOLBENCH_SWEEP_HH

@@ -1,3 +1,4 @@
+// isol: domain(sim)
 #include "sim/invariants.hh"
 
 #include <atomic>

@@ -36,6 +36,7 @@
  * opaque pointers plus human-readable labels, which keeps the layering
  * acyclic (blk -> sim, never sim -> blk).
  */
+// isol: domain(sim)
 
 #ifndef ISOL_SIM_INVARIANTS_HH
 #define ISOL_SIM_INVARIANTS_HH

@@ -1,3 +1,4 @@
+// isol: domain(ssd)
 #include "ssd/config.hh"
 
 namespace isol::ssd

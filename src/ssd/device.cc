@@ -1,3 +1,4 @@
+// isol: domain(ssd)
 #include "ssd/device.hh"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// isol: domain(ssd)
 #include "ssd/ftl.hh"
 
 #include <algorithm>

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Incremental lint cache: line-based text serialization plus the two
+ * probe predicates (see cache.hh for the protocol).
+ *
+ * Format (one record per line; paths go last so embedded spaces in a
+ * path never break the fixed fields):
+ *
+ *   isol-lint-cache 1
+ *   tool <digest>
+ *   nfiles <N>
+ *   F <mtime_ns> <size> <digest> <path>          x N
+ *   nfind <N> / nsupp <N> / nunused <N>, each followed by triplets:
+ *   R <line> <rule> <path>
+ *   M <message>
+ *   H <hint>
+ */
+
+#include "cache.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace isol_lint
+{
+
+namespace
+{
+
+void
+writeFindings(std::ostream &out, const char *tag,
+              const std::vector<Finding> &findings)
+{
+    out << tag << " " << findings.size() << "\n";
+    for (const Finding &f : findings) {
+        out << "R " << f.line << " " << f.rule << " " << f.file << "\n"
+            << "M " << f.message << "\n"
+            << "H " << f.hint << "\n";
+    }
+}
+
+bool
+readFindings(std::istream &in, const char *tag,
+             std::vector<Finding> &out)
+{
+    std::string word;
+    size_t count = 0;
+    if (!(in >> word) || word != tag || !(in >> count))
+        return false;
+    in.ignore(1, '\n');
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        Finding f;
+        std::string line;
+        if (!std::getline(in, line) || line.rfind("R ", 0) != 0)
+            return false;
+        std::istringstream rec(line.substr(2));
+        if (!(rec >> f.line >> f.rule))
+            return false;
+        rec.ignore(1, ' ');
+        std::getline(rec, f.file);
+        if (!std::getline(in, line) || line.rfind("M ", 0) != 0)
+            return false;
+        f.message = line.substr(2);
+        if (!std::getline(in, line) || line.rfind("H ", 0) != 0)
+            return false;
+        f.hint = line.substr(2);
+        out.push_back(std::move(f));
+    }
+    return true;
+}
+
+} // namespace
+
+unsigned long long
+fnv1a64(const std::string &data)
+{
+    unsigned long long hash = 14695981039346656037ULL;
+    for (unsigned char c : data) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+unsigned long long
+toolDigest(const LintOptions &options)
+{
+    std::string key = "isol-lint-cache-format-1\n";
+    for (char family : options.families)
+        key += family;
+    key += "\n";
+    for (const RuleInfo &r : ruleTable()) {
+        key += r.id;
+        key += "\x1f";
+        key += r.summary;
+        key += "\x1f";
+        key += r.hint;
+        key += "\n";
+    }
+    return fnv1a64(key);
+}
+
+bool
+loadCache(const std::string &path, LintCache &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    LintCache cache;
+    std::string word;
+    int version = 0;
+    if (!(in >> word >> version) || word != "isol-lint-cache" ||
+        version != 1)
+        return false;
+    if (!(in >> word >> cache.tool_digest) || word != "tool")
+        return false;
+    size_t nfiles = 0;
+    if (!(in >> word >> nfiles) || word != "nfiles")
+        return false;
+    in.ignore(1, '\n');
+    for (size_t i = 0; i < nfiles; ++i) {
+        std::string line;
+        if (!std::getline(in, line) || line.rfind("F ", 0) != 0)
+            return false;
+        std::istringstream rec(line.substr(2));
+        CacheEntry entry;
+        if (!(rec >> entry.mtime_ns >> entry.size >> entry.digest))
+            return false;
+        rec.ignore(1, ' ');
+        std::string file_path;
+        std::getline(rec, file_path);
+        if (file_path.empty())
+            return false;
+        cache.files.emplace(std::move(file_path), entry);
+    }
+    if (!readFindings(in, "nfind", cache.result.findings) ||
+        !readFindings(in, "nsupp", cache.result.suppressed) ||
+        !readFindings(in, "nunused", cache.result.unused_suppressions))
+        return false;
+    out = std::move(cache);
+    return true;
+}
+
+bool
+saveCache(const std::string &path, const LintCache &cache)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << "isol-lint-cache 1\n"
+        << "tool " << cache.tool_digest << "\n"
+        << "nfiles " << cache.files.size() << "\n";
+    for (const auto &[file, entry] : cache.files) {
+        out << "F " << entry.mtime_ns << " " << entry.size << " "
+            << entry.digest << " " << file << "\n";
+    }
+    writeFindings(out, "nfind", cache.result.findings);
+    writeFindings(out, "nsupp", cache.result.suppressed);
+    writeFindings(out, "nunused", cache.result.unused_suppressions);
+    return static_cast<bool>(out);
+}
+
+bool
+statHit(const LintCache &cache, unsigned long long tool_digest,
+        const std::vector<FileStat> &stats)
+{
+    if (cache.tool_digest != tool_digest ||
+        cache.files.size() != stats.size())
+        return false;
+    for (const FileStat &s : stats) {
+        auto it = cache.files.find(s.path);
+        if (it == cache.files.end() ||
+            it->second.mtime_ns != s.mtime_ns ||
+            it->second.size != s.size)
+            return false;
+    }
+    return true;
+}
+
+bool
+digestHit(const LintCache &cache, unsigned long long tool_digest,
+          const std::vector<FileInput> &inputs)
+{
+    if (cache.tool_digest != tool_digest ||
+        cache.files.size() != inputs.size())
+        return false;
+    for (const FileInput &input : inputs) {
+        auto it = cache.files.find(input.path);
+        if (it == cache.files.end() ||
+            it->second.digest != fnv1a64(input.content))
+            return false;
+    }
+    return true;
+}
+
+LintCache
+makeCache(unsigned long long tool_digest,
+          const std::vector<FileStat> &stats,
+          const std::vector<FileInput> &inputs, const LintResult &result)
+{
+    LintCache cache;
+    cache.tool_digest = tool_digest;
+    cache.result = result;
+    for (const FileStat &s : stats)
+        cache.files[s.path] = {s.mtime_ns, s.size, 0};
+    for (const FileInput &input : inputs)
+        cache.files[input.path].digest = fnv1a64(input.content);
+    return cache;
+}
+
+} // namespace isol_lint

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Incremental lint cache (--cache).
+ *
+ * The rule families are whole-program (D1 joins container declarations
+ * across the set, P1/P2 join the ownership map with include-graph
+ * reachability, U1 joins signatures with call sites), so a single
+ * changed file can add or remove findings in *other* files. The cache
+ * is therefore valid only for the tree as a whole: it stores, per
+ * file, (mtime, size, content digest), plus the full lint result of
+ * the last run.
+ *
+ * Probe order on the next run:
+ *  1. stat hit — same path set and every (mtime, size) matches: replay
+ *     the stored result without reading a single file;
+ *  2. digest hit — some mtime moved, but every content digest still
+ *     matches (touch without edit): replay, and refresh the stored
+ *     mtimes;
+ *  3. miss — any content changed: run the rule engine and rewrite the
+ *     cache.
+ *
+ * A tool digest over the rule table and the enabled families keys the
+ * whole cache, so upgrading the linter or switching --rules never
+ * replays stale results.
+ */
+
+#ifndef ISOL_LINT_CACHE_HH
+#define ISOL_LINT_CACHE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace isol_lint
+{
+
+/** FNV-1a 64-bit content digest (dependency-free, stable). */
+unsigned long long fnv1a64(const std::string &data);
+
+/** Digest keying the cache: rule table + enabled families + format. */
+unsigned long long toolDigest(const LintOptions &options);
+
+/** What the filesystem says about one input, before reading it. */
+struct FileStat
+{
+    std::string path; //!< display path (matches FileInput::path)
+    long long mtime_ns = 0;
+    unsigned long long size = 0;
+};
+
+struct CacheEntry
+{
+    long long mtime_ns = 0;
+    unsigned long long size = 0;
+    unsigned long long digest = 0;
+};
+
+struct LintCache
+{
+    unsigned long long tool_digest = 0;
+    std::map<std::string, CacheEntry> files;
+    LintResult result;
+};
+
+/** Parse a cache file; false (and `out` untouched) on absence or any
+ *  format mismatch — a corrupt cache is simply a miss. */
+bool loadCache(const std::string &path, LintCache &out);
+
+/** Atomically-enough (write + rename not needed for a ctest-local
+ *  artifact) serialize the cache; false on I/O error. */
+bool saveCache(const std::string &path, const LintCache &cache);
+
+/** Probe 1: true when the stored tree matches `stats` exactly by
+ *  (path set, mtime, size). No file content needed. */
+bool statHit(const LintCache &cache, unsigned long long tool_digest,
+             const std::vector<FileStat> &stats);
+
+/** Probe 2: true when the stored tree matches `inputs` exactly by
+ *  (path set, content digest). */
+bool digestHit(const LintCache &cache, unsigned long long tool_digest,
+               const std::vector<FileInput> &inputs);
+
+/** Build a fresh cache from the run that just happened. */
+LintCache makeCache(unsigned long long tool_digest,
+                    const std::vector<FileStat> &stats,
+                    const std::vector<FileInput> &inputs,
+                    const LintResult &result);
+
+} // namespace isol_lint
+
+#endif // ISOL_LINT_CACHE_HH

@@ -1,0 +1,22 @@
+// isol-lint fixture: P1 known-bad — one shard reaching into another
+// shard's mutable state. The ownership map comes from the domain
+// annotations; the reference crosses it without a shared() sanction.
+// isol: domain(shard_a)
+
+namespace shard_a
+{
+int inflight_tokens = 0; // isol-lint: allow(D4): fixture global
+}
+
+// isol: domain(shard_b)
+namespace shard_b
+{
+
+int
+steal()
+{
+    // Cross-domain mutation: shard_b must not touch shard_a's state.
+    return ++shard_a::inflight_tokens;
+}
+
+} // namespace shard_b

@@ -1,0 +1,21 @@
+// isol-lint fixture: P1 known-good — the cross-domain state is the
+// sanctioned barrier/merge coordination point, declared shared().
+// isol: domain(shard_a)
+
+namespace shard_a
+{
+// isol: shared(barrier epoch, advanced only at the merge point)
+int barrier_epoch = 0; // isol-lint: allow(D4): fixture global
+}
+
+// isol: domain(shard_b)
+namespace shard_b
+{
+
+int
+observe()
+{
+    return shard_a::barrier_epoch;
+}
+
+} // namespace shard_b

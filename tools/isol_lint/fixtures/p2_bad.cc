@@ -1,0 +1,19 @@
+// isol-lint fixture: P2 known-bad — a deferred callback that
+// default-captures by reference inside a domain. The callback outlives
+// the frame and can run on another shard after a migration.
+// isol: domain(shard_a)
+#include <functional>
+
+struct Sched
+{
+    void after(long long delay, std::function<void()> cb);
+};
+
+int
+arm(Sched &sched)
+{
+    int completions = 0;
+    long long wait_ns = 0;
+    sched.after(wait_ns, [&] { ++completions; });
+    return completions;
+}

@@ -1,0 +1,16 @@
+// isol-lint fixture: P3 known-bad — container push order inside a
+// parallel region depends on worker interleaving, so the element order
+// (and everything derived from it) differs run to run.
+#include <vector>
+
+void
+collect(int n, std::vector<int> &sink)
+{
+    std::vector<int> out;
+    // isol: parallel
+    {
+        for (int i = 0; i < n; ++i)
+            out.push_back(i * i);
+    }
+    sink = out;
+}

@@ -1,0 +1,20 @@
+// isol-lint fixture: P3 known-good — pre-sized per-index slots make
+// the parallel write order irrelevant, and the one sanctioned append
+// is explicitly merge-ordered (the merge layer sorts by index).
+#include <vector>
+
+void
+collect(int n, std::vector<int> &sink)
+{
+    std::vector<int> out(static_cast<size_t>(n));
+    std::vector<int> audit;
+    // isol: parallel
+    {
+        for (int i = 0; i < n; ++i) {
+            out[static_cast<size_t>(i)] = i * i;
+            // isol: merge-ordered
+            audit.push_back(i);
+        }
+    }
+    sink = out;
+}

@@ -1,0 +1,13 @@
+// isol-lint fixture: SARIF golden-file input — one open D2 finding
+// and one suppressed finding (rendered with an inSource suppression).
+long
+now_wall()
+{
+    return time(nullptr);
+}
+
+long
+profile_wall()
+{
+    return clock(); // isol-lint: allow(D2): profiling fixture
+}

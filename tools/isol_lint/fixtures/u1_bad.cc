@@ -1,0 +1,16 @@
+// isol-lint fixture: U1 known-bad — a raw integer literal flowing into
+// a SimTime parameter (is that 500 ns? us? ms?) and a _us value bound
+// to an _ns parameter without a conversion.
+using SimTime = long long;
+
+struct Sim
+{
+    void at(SimTime when_ns, int event);
+};
+
+void
+drive(Sim &sim, long long budget_us)
+{
+    sim.at(500, 1);
+    sim.at(budget_us, 2);
+}

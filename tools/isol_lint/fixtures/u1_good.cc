@@ -1,0 +1,28 @@
+// isol-lint fixture: U1 known-good — time literals are wrapped in the
+// unit helpers and the _us value is converted at the boundary, so the
+// unit is explicit at every call site.
+using SimTime = long long;
+
+constexpr SimTime
+nsFromNs(long long value)
+{
+    return value;
+}
+
+constexpr SimTime
+nsFromUs(long long value)
+{
+    return value * 1000;
+}
+
+struct Sim
+{
+    void at(SimTime when_ns, int event);
+};
+
+void
+drive(Sim &sim, long long budget_us)
+{
+    sim.at(nsFromNs(500), 1);
+    sim.at(nsFromUs(budget_us), 2);
+}

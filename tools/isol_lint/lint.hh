@@ -1,10 +1,12 @@
 /**
  * @file
- * isol-lint: determinism and simulation-hygiene static analysis.
+ * isol-lint: determinism, sharding-safety, and unit-safety static
+ * analysis for the simulator tree.
  *
- * A dependency-free (no libclang) token-level checker for the hazard
- * classes that break byte-identical replay of the simulator:
+ * A dependency-free (no libclang) token-level checker organised in
+ * three rule families:
  *
+ * Determinism (D) — hazards that break byte-identical replay:
  *   D1  pointer-keyed unordered containers: iterating one visits
  *       elements in heap-address order, which differs run to run.
  *       Declarations are flagged too so lookup-only use is an explicit,
@@ -19,10 +21,44 @@
  *       `// isol: parallel` region (summation order then depends on
  *       worker scheduling; fold per-index partials afterwards).
  *
+ * Sharding safety (P) — whole-program rules over the cross-TU include
+ * graph and the `// isol: domain(<name>)` ownership map; they police
+ * the invariants a domain-sharded conservative DES needs:
+ *   P1  mutable namespace-scope state owned by one domain referenced
+ *       from another domain (reachability over the include graph);
+ *       sanctioned cross-domain state carries `// isol: shared(why)`.
+ *   P2  deferred callbacks (arguments to at/after/schedule/defer/post)
+ *       that default-capture by reference, or explicitly by-reference
+ *       capture another domain's state — the callback can outlive its
+ *       frame and migrate across the shard boundary.
+ *   P3  non-commutative accumulation (container push order; float
+ *       compound assignment in domain regions) into state declared
+ *       outside a `// isol: parallel` or `// isol: domain` region,
+ *       without a `// isol: merge-ordered` marker. Generalises D5.
+ *
+ * Unit safety (U) — silent-corruption unit mixups:
+ *   U1  raw non-zero integer literals flowing into SimTime-typed
+ *       parameters (wrap in nsToNs()/usToNs()/msToNs() so the unit is
+ *       explicit), and unit-suffix mismatches between an argument
+ *       identifier and the parameter it binds to (`_us` into `_ns`,
+ *       `_bytes` into `_sectors`, ... across the blk/ssd boundary).
+ *
+ * Annotation grammar (machine-read comments):
+ *   // isol: domain(<name>)    before the first code token: the whole
+ *                              file belongs to <name>; later in the
+ *                              file: the next brace block does.
+ *   // isol: parallel          next brace block runs on sweep workers.
+ *   // isol: shared(<why>)     this declaration is sanctioned
+ *                              cross-domain state (barrier/merge
+ *                              layer); P1/P2 skip it.
+ *   // isol: merge-ordered     this accumulation's merge order is
+ *                              explicitly managed; P3 skips it.
+ *
  * Findings are suppressed with `// isol-lint: allow(D2): reason` on the
  * offending line, or on a line of its own above it (a stand-alone
  * suppression covers everything through the next line containing code,
- * so multi-line justifications work).
+ * so multi-line justifications work). Suppressions that no longer
+ * match any finding are reported by --report-unused-suppressions.
  *
  * The checker is heuristic by design: it tokenizes real C++ (comments,
  * strings, raw strings, preprocessor lines) but does not build an AST,
@@ -34,6 +70,7 @@
 #ifndef ISOL_LINT_LINT_HH
 #define ISOL_LINT_LINT_HH
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -60,17 +97,24 @@ struct Token
 };
 
 /**
- * Tokenize C++ source. Comments are kept (rules D5 and suppression
+ * Tokenize C++ source. Comments are kept (rules D5/P3 and suppression
  * handling read them); preprocessor lines are skipped entirely.
  */
 std::vector<Token> tokenize(const std::string &source);
+
+/**
+ * Extract quoted `#include "..."` targets from a source file (angle
+ * includes are system headers and never part of the project graph).
+ * Line-based: a directive commented out with `//` is not reported.
+ */
+std::vector<std::string> scanIncludes(const std::string &source);
 
 /** One rule violation (or suppressed would-be violation). */
 struct Finding
 {
     std::string file;
     int line = 0;
-    std::string rule; //!< "D1".."D5"
+    std::string rule; //!< "D1".."D5", "P1".."P3", "U1"
     std::string message;
     std::string hint; //!< fix-it guidance
 };
@@ -86,20 +130,40 @@ struct LintResult
 {
     std::vector<Finding> findings; //!< unsuppressed, sorted (file, line)
     std::vector<Finding> suppressed; //!< silenced by allow() comments
+    /** allow() comments that matched nothing; line = the comment's
+     *  line, rule = the allowed rule id, for the staleness gate. */
+    std::vector<Finding> unused_suppressions;
+};
+
+/** Rule-family selection and execution knobs for lintFiles(). */
+struct LintOptions
+{
+    /** Enabled families ('D', 'P', 'U'); default all. */
+    std::set<char> families = {'D', 'P', 'U'};
+    /** Worker threads for the per-file passes; 0/1 = serial. The
+     *  finding order is path-sorted and identical for any value. */
+    unsigned jobs = 1;
 };
 
 /**
- * Lint a set of files together. D1 is cross-file: container declarations
- * collected anywhere in the set are matched against iteration in every
- * file (headers declare, .cc files iterate).
+ * Lint a set of files together. Cross-file state:
+ *  - D1: container declarations collected anywhere in the set are
+ *    matched against iteration in every file.
+ *  - P1/P2: an ownership map (mutable namespace-scope declarations in
+ *    `// isol: domain(...)` files) is joined with an include-graph
+ *    reachability relation built from the files' quoted includes.
+ *  - U1: function signatures with SimTime-typed or unit-suffixed
+ *    parameters collected set-wide are matched against call sites.
  *
  * Path scoping: D4 only fires for paths containing a `src/` component;
  * D2 exempts paths ending in `common/rng.hh`; everything else applies
  * to all inputs.
  */
+LintResult lintFiles(const std::vector<FileInput> &files,
+                     const LintOptions &options);
 LintResult lintFiles(const std::vector<FileInput> &files);
 
-/** Static description of one rule (--list-rules, docs). */
+/** Static description of one rule (--list-rules, docs, SARIF). */
 struct RuleInfo
 {
     const char *id;
@@ -107,8 +171,16 @@ struct RuleInfo
     const char *hint;
 };
 
-/** All rules, in id order. */
+/** All rules, in id order (D1..D5, P1..P3, U1). */
 const std::vector<RuleInfo> &ruleTable();
+
+/**
+ * Render a lint result as a deterministic SARIF 2.1.0 document (GitHub
+ * code scanning ingests this via codeql-action/upload-sarif).
+ * Suppressed findings are included with an in-source suppression so
+ * the dashboard shows them as reviewed, not open.
+ */
+std::string sarifReport(const LintResult &result);
 
 } // namespace isol_lint
 

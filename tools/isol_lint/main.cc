@@ -1,28 +1,43 @@
 /**
  * @file
- * isol_lint CLI: scan src/, bench/, and tools/ for determinism and
- * simulation-hygiene hazards (rules D1..D5, see lint.hh).
+ * isol_lint CLI: scan src/, bench/, and tools/ for determinism (D),
+ * sharding-safety (P), and unit-safety (U) hazards — see lint.hh.
  *
  * Usage:
- *   isol_lint [--root DIR] [--github] [--verbose] [--list-rules] [file...]
+ *   isol_lint [--root DIR] [--rules D,P,U] [--jobs N] [--cache FILE]
+ *             [--sarif FILE] [--report-unused-suppressions]
+ *             [--github] [--verbose] [--list-rules] [file...]
  *
  * With explicit files, lints exactly those. Otherwise walks
  * <root>/{src,bench,tools} for *.cc / *.hh, skipping the known-bad
  * fixture corpus under tools/isol_lint/fixtures/.
  *
- * Exit status: 0 when clean, 1 on any unsuppressed finding, 2 on usage
- * or I/O errors. `--github` switches to GitHub Actions annotation
- * format (`::error file=...`) for CI.
+ * --cache FILE keeps the repo-wide lint sub-second in the ctest hot
+ * loop: when nothing changed (by mtime+size, falling back to content
+ * digests so a touch without an edit still hits), the previous run's
+ * result is replayed without re-running the rule engine. The rules
+ * are whole-program, so the cache is valid only for the tree as a
+ * whole — any content change re-lints everything.
+ *
+ * Exit status: 0 when clean, 1 on any unsuppressed finding (or, with
+ * --report-unused-suppressions, on any stale allow() comment), 2 on
+ * usage or I/O errors. `--github` switches to GitHub Actions
+ * annotation format (`::error file=...`) for CI.
  */
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cache.hh"
 #include "lint.hh"
 
 namespace fs = std::filesystem;
@@ -87,19 +102,37 @@ collectFiles(const fs::path &root)
 }
 
 void
-printFinding(const Finding &f, bool github, bool suppressed)
+printFinding(const Finding &f, bool github, const char *kind)
 {
+    const bool error = kind == nullptr;
     if (github) {
         std::printf("::%s file=%s,line=%d::[%s] %s\n",
-                    suppressed ? "notice" : "error", f.file.c_str(),
-                    f.line, f.rule.c_str(), f.message.c_str());
+                    error ? "error" : "notice", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
         return;
     }
-    std::printf("%s:%d: %s[%s] %s\n", f.file.c_str(), f.line,
-                suppressed ? "suppressed " : "", f.rule.c_str(),
+    std::printf("%s:%d: %s%s[%s] %s\n", f.file.c_str(), f.line,
+                error ? "" : kind, error ? "" : " ", f.rule.c_str(),
                 f.message.c_str());
-    if (!suppressed)
+    if (error)
         std::printf("    hint: %s\n", f.hint.c_str());
+}
+
+/** Parse --rules: families as letters, commas/spaces ignored. */
+bool
+parseFamilies(const std::string &arg, std::set<char> &out)
+{
+    out.clear();
+    for (char c : arg) {
+        if (c == ',' || c == ' ')
+            continue;
+        char up = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c)));
+        if (up != 'D' && up != 'P' && up != 'U')
+            return false;
+        out.insert(up);
+    }
+    return !out.empty();
 }
 
 } // namespace
@@ -110,20 +143,59 @@ main(int argc, char **argv)
     fs::path root = ".";
     bool github = false;
     bool verbose = false;
+    bool report_unused = false;
+    std::string cache_path;
+    std::string sarif_path;
+    isol_lint::LintOptions options;
+    options.jobs = std::min(8u, std::max(
+        1u, std::thread::hardware_concurrency()));
     std::vector<fs::path> explicit_files;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "isol_lint: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
         if (arg == "--github") {
             github = true;
         } else if (arg == "--verbose" || arg == "-v") {
             verbose = true;
+        } else if (arg == "--report-unused-suppressions") {
+            report_unused = true;
         } else if (arg == "--root") {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "isol_lint: --root needs a value\n");
+            const char *v = value("--root");
+            if (v == nullptr)
+                return 2;
+            root = v;
+        } else if (arg == "--rules") {
+            const char *v = value("--rules");
+            if (v == nullptr || !parseFamilies(v, options.families)) {
+                std::fprintf(stderr,
+                             "isol_lint: --rules wants families from "
+                             "{D,P,U}, e.g. --rules D,P,U\n");
                 return 2;
             }
-            root = argv[++i];
+        } else if (arg == "--jobs" || arg == "-j") {
+            const char *v = value("--jobs");
+            if (v == nullptr)
+                return 2;
+            options.jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(v)));
+        } else if (arg == "--cache") {
+            const char *v = value("--cache");
+            if (v == nullptr)
+                return 2;
+            cache_path = v;
+        } else if (arg == "--sarif") {
+            const char *v = value("--sarif");
+            if (v == nullptr)
+                return 2;
+            sarif_path = v;
         } else if (arg == "--list-rules") {
             for (const isol_lint::RuleInfo &r : isol_lint::ruleTable()) {
                 std::printf("%s  %s\n    fix: %s\n", r.id, r.summary,
@@ -131,8 +203,11 @@ main(int argc, char **argv)
             }
             return 0;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: isol_lint [--root DIR] [--github] "
-                        "[--verbose] [--list-rules] [file...]\n");
+            std::printf(
+                "usage: isol_lint [--root DIR] [--rules D,P,U] "
+                "[--jobs N] [--cache FILE] [--sarif FILE]\n"
+                "                 [--report-unused-suppressions] "
+                "[--github] [--verbose] [--list-rules] [file...]\n");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "isol_lint: unknown option '%s'\n",
@@ -151,29 +226,105 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::vector<isol_lint::FileInput> inputs;
-    inputs.reserve(files.size());
+    // Stat pass first: a stat-clean cache replays the previous result
+    // without reading a single source file.
+    std::vector<isol_lint::FileStat> stats;
+    stats.reserve(files.size());
     for (const fs::path &path : files) {
-        std::string content;
-        if (!readFile(path, content)) {
-            std::fprintf(stderr, "isol_lint: cannot read %s\n",
+        std::error_code ec;
+        isol_lint::FileStat s;
+        s.path = displayPath(path, root);
+        s.size = fs::file_size(path, ec);
+        if (!ec) {
+            auto mtime = fs::last_write_time(path, ec);
+            s.mtime_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    mtime.time_since_epoch())
+                    .count();
+        }
+        if (ec) {
+            std::fprintf(stderr, "isol_lint: cannot stat %s\n",
                          path.string().c_str());
             return 2;
         }
-        inputs.push_back({displayPath(path, root), std::move(content)});
+        stats.push_back(std::move(s));
     }
 
-    isol_lint::LintResult result = isol_lint::lintFiles(inputs);
+    const unsigned long long tool_digest =
+        isol_lint::toolDigest(options);
+    isol_lint::LintCache cache;
+    bool cache_loaded =
+        !cache_path.empty() && isol_lint::loadCache(cache_path, cache);
+
+    isol_lint::LintResult result;
+    const char *cache_state = "off";
+    if (cache_loaded &&
+        isol_lint::statHit(cache, tool_digest, stats)) {
+        result = cache.result;
+        cache_state = "hit";
+    } else {
+        std::vector<isol_lint::FileInput> inputs;
+        inputs.reserve(files.size());
+        for (size_t i = 0; i < files.size(); ++i) {
+            std::string content;
+            if (!readFile(files[i], content)) {
+                std::fprintf(stderr, "isol_lint: cannot read %s\n",
+                             files[i].string().c_str());
+                return 2;
+            }
+            inputs.push_back({stats[i].path, std::move(content)});
+        }
+        if (cache_loaded &&
+            isol_lint::digestHit(cache, tool_digest, inputs)) {
+            // Touch without edit: replay, refresh the stored mtimes so
+            // the next probe hits on stat alone.
+            result = cache.result;
+            cache_state = "hit";
+            isol_lint::saveCache(
+                cache_path, isol_lint::makeCache(tool_digest, stats,
+                                                 inputs, result));
+        } else {
+            result = isol_lint::lintFiles(inputs, options);
+            cache_state = cache_path.empty() ? "off" : "miss";
+            if (!cache_path.empty()) {
+                isol_lint::saveCache(
+                    cache_path, isol_lint::makeCache(tool_digest, stats,
+                                                     inputs, result));
+            }
+        }
+    }
+
     for (const Finding &f : result.findings)
-        printFinding(f, github, false);
+        printFinding(f, github, nullptr);
     if (verbose) {
         for (const Finding &f : result.suppressed)
-            printFinding(f, github, true);
+            printFinding(f, github, "suppressed");
+    }
+    if (report_unused) {
+        for (const Finding &f : result.unused_suppressions)
+            printFinding(f, github, "stale-suppression");
     }
 
+    if (!sarif_path.empty()) {
+        std::ofstream out(sarif_path, std::ios::trunc);
+        out << isol_lint::sarifReport(result);
+        if (!out) {
+            std::fprintf(stderr, "isol_lint: cannot write %s\n",
+                         sarif_path.c_str());
+            return 2;
+        }
+    }
+
+    std::string families;
+    for (char f : options.families)
+        families += f;
     std::fprintf(stderr,
-                 "isol_lint: %zu files, %zu findings (%zu suppressed)\n",
-                 inputs.size(), result.findings.size(),
-                 result.suppressed.size());
-    return result.findings.empty() ? 0 : 1;
+                 "isol_lint: %zu files, families %s, %zu findings "
+                 "(%zu suppressed, %zu stale suppressions), cache %s\n",
+                 files.size(), families.c_str(), result.findings.size(),
+                 result.suppressed.size(),
+                 result.unused_suppressions.size(), cache_state);
+    bool failed = !result.findings.empty() ||
+                  (report_unused && !result.unused_suppressions.empty());
+    return failed ? 1 : 0;
 }

@@ -1,19 +1,29 @@
 /**
  * @file
- * Rule engine for isol-lint: D1..D5 over the token stream.
+ * Rule engine for isol-lint: families D (determinism), P (sharding
+ * safety), U (unit safety) over the token stream.
  *
- * Rules work on a comment-free token view per file; suppressions and
- * `// isol: parallel` region markers are extracted from the comment
- * tokens first. D1 runs in two passes across the whole file set so a
- * container declared in a header is matched against iteration in any
- * .cc file.
+ * The engine runs in four phases:
+ *   1. per-file views (parallel): tokenize, extract suppressions,
+ *      `// isol:` markers (parallel/domain regions, shared,
+ *      merge-ordered), and quoted includes;
+ *   2. per-file fact collection (parallel): pointer-keyed container
+ *      declarations (D1), mutable namespace-scope/static declarations
+ *      (D4/P1), and unit-carrying function signatures (U1);
+ *   3. global model (serial): registries merged across the set, plus
+ *      the include-graph transitive-reachability relation that P1/P2
+ *      use to decide whether a foreign symbol is actually visible;
+ *   4. per-file rule checks (parallel), merged in input order so the
+ *      finding order is identical for any worker count.
  */
 
 #include "lint.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <map>
-#include <set>
+#include <thread>
 
 namespace isol_lint
 {
@@ -28,8 +38,8 @@ const std::vector<RuleInfo> kRules = {
      "pointer-keyed unordered container (iteration order = heap-address "
      "order)",
      "iterate an index-mapped creation-order deque instead (see "
-     "src/blk/bfq.cc); keep pointer-keyed maps lookup-only and document "
-     "with allow(D1)"},
+     "src/blk/cg_state.hh); keep pointer-keyed maps lookup-only and "
+     "document with allow(D1)"},
     {"D2",
      "wall-clock or ambient-entropy source outside src/common/rng.hh",
      "derive all randomness from the scenario's seeded isol::Rng and all "
@@ -49,6 +59,27 @@ const std::vector<RuleInfo> kRules = {
      "collect per-index partial results and fold them after the "
      "parallel section, in index order (see runFairness in "
      "src/isolbench/d2_fairness.cc)"},
+    {"P1",
+     "mutable state owned by one isol domain referenced from another",
+     "route cross-domain state through the barrier/merge layer, or mark "
+     "the declaration `// isol: shared(reason)` if it is sanctioned "
+     "coordination state"},
+    {"P2",
+     "deferred callback captures by reference across a domain boundary",
+     "capture by value (or [this] for the owning component); a deferred "
+     "callback can outlive its frame and migrate to another shard"},
+    {"P3",
+     "order-dependent accumulation inside a parallel/domain region "
+     "without a merge-ordered marker",
+     "accumulate into region-local state and fold in index order, or "
+     "mark the site `// isol: merge-ordered` when the merge layer "
+     "guarantees ordering"},
+    {"U1",
+     "raw integer literal or unit-suffix mismatch flowing into a "
+     "unit-typed parameter",
+     "wrap time literals in nsToNs()/usToNs()/msToNs() so the unit is "
+     "explicit, and convert between _bytes/_sectors/_lba at the "
+     "blk/ssd boundary instead of passing them through"},
 };
 
 const RuleInfo &
@@ -69,13 +100,27 @@ struct Suppression
     int first_line;
     int last_line;
     std::string rule; //!< rule id, or "*"
+    int comment_line = 0; //!< where the allow() comment itself sits
+    bool used = false; //!< matched at least one (suppressed) finding
 };
 
-/** Token range (code-token indexes) of one `// isol: parallel` region. */
+/** Inclusive line range tagged by a non-suppression marker. */
+struct LineRange
+{
+    int first_line;
+    int last_line;
+};
+
+/**
+ * Token range (code-token indexes) of one annotated brace block:
+ * `// isol: parallel` regions and `// isol: domain(<name>)` regions.
+ */
 struct Region
 {
     size_t begin; //!< index of the opening `{`
     size_t end; //!< index of the matching `}`
+    bool parallel = false;
+    std::string domain; //!< empty for plain parallel regions
 };
 
 struct FileView
@@ -84,6 +129,10 @@ struct FileView
     std::vector<Token> code; //!< comment-free tokens
     std::vector<Suppression> suppressions;
     std::vector<Region> regions;
+    std::string file_domain; //!< `// isol: domain()` before any code
+    std::vector<LineRange> shared_lines; //!< `// isol: shared()`
+    std::vector<LineRange> merge_ordered_lines;
+    std::vector<std::string> includes; //!< quoted include targets
 };
 
 bool
@@ -119,7 +168,7 @@ parseAllows(const std::string &text, int first_line, int last_line,
         std::string id;
         auto flush = [&] {
             if (!id.empty())
-                out.push_back({first_line, last_line, id});
+                out.push_back({first_line, last_line, id, first_line});
             id.clear();
         };
         for (char c : list) {
@@ -133,27 +182,77 @@ parseAllows(const std::string &text, int first_line, int last_line,
     }
 }
 
+/**
+ * Extract the name inside `isol: <marker>(<name>)`, or "" when the
+ * marker is absent. `isol:domain(...)` (no space) is accepted too.
+ */
+bool
+parseMarker(const std::string &text, const char *marker,
+            std::string *name)
+{
+    for (const char *prefix : {"isol: ", "isol:"}) {
+        size_t pos = text.find(std::string(prefix) + marker);
+        if (pos == std::string::npos)
+            continue;
+        if (name != nullptr) {
+            size_t open = text.find('(', pos);
+            size_t close = open == std::string::npos
+                               ? std::string::npos
+                               : text.find(')', open);
+            *name = close == std::string::npos
+                        ? std::string()
+                        : text.substr(open + 1, close - open - 1);
+        }
+        return true;
+    }
+    return false;
+}
+
 FileView
 buildView(const FileInput &input)
 {
     FileView view;
     view.path = input.path;
+    view.includes = scanIncludes(input.content);
     std::vector<Token> all = tokenize(input.content);
 
     // Lines that contain at least one code (non-comment) token: a
-    // suppression comment alone on its line extends to the next line.
+    // marker comment alone on its line extends to the next such line.
     std::set<int> code_lines;
+    size_t first_code_offset = std::string::npos;
     for (const Token &t : all) {
-        if (t.kind != TokKind::kComment)
+        if (t.kind != TokKind::kComment) {
             code_lines.insert(t.line);
+            if (first_code_offset == std::string::npos)
+                first_code_offset = t.offset;
+        }
     }
+    auto lineRange = [&](const Token &t, int end_line) {
+        LineRange range{t.line, end_line};
+        if (code_lines.count(t.line) == 0) {
+            auto next = code_lines.upper_bound(end_line);
+            range.last_line =
+                next != code_lines.end() ? *next : end_line + 1;
+        }
+        return range;
+    };
 
-    std::vector<size_t> marker_offsets;
+    struct Marker
+    {
+        size_t offset;
+        bool parallel;
+        std::string domain;
+    };
+    std::vector<Marker> markers;
     for (const Token &t : all) {
         if (t.kind != TokKind::kComment) {
             view.code.push_back(t);
             continue;
         }
+        // Only `//` comments carry directives: doc blocks quote the
+        // grammar (`allow(D2): reason`) without meaning it.
+        if (t.text.rfind("//", 0) != 0)
+            continue;
         int end_line = t.line + static_cast<int>(std::count(
                                     t.text.begin(), t.text.end(), '\n'));
         std::vector<Suppression> allows;
@@ -169,18 +268,30 @@ buildView(const FileInput &input)
             }
             view.suppressions.push_back(s);
         }
-        if (t.text.find("isol: parallel") != std::string::npos ||
-            t.text.find("isol:parallel") != std::string::npos)
-            marker_offsets.push_back(t.offset);
+        if (parseMarker(t.text, "parallel", nullptr))
+            markers.push_back({t.offset, true, ""});
+        std::string domain;
+        if (parseMarker(t.text, "domain", &domain) && !domain.empty()) {
+            if (first_code_offset == std::string::npos ||
+                t.offset < first_code_offset)
+                view.file_domain = domain;
+            else
+                markers.push_back({t.offset, false, domain});
+        }
+        if (parseMarker(t.text, "shared", nullptr))
+            view.shared_lines.push_back(lineRange(t, end_line));
+        if (parseMarker(t.text, "merge-ordered", nullptr))
+            view.merge_ordered_lines.push_back(lineRange(t, end_line));
     }
 
     // Resolve each marker to the brace block opened by the next `{`
-    // after the marker (annotate the worker lambda, marker above or on
-    // the line before its opening brace).
-    for (size_t marker : marker_offsets) {
+    // after the marker (annotate the worker lambda or domain block,
+    // marker above or on the line before its opening brace).
+    for (const Marker &marker : markers) {
         size_t i = 0;
         while (i < view.code.size() &&
-               !(view.code[i].offset > marker && view.code[i].text == "{"))
+               !(view.code[i].offset > marker.offset &&
+                 view.code[i].text == "{"))
             ++i;
         if (i >= view.code.size())
             continue;
@@ -192,17 +303,44 @@ buildView(const FileInput &input)
             else if (view.code[j].text == "}" && --depth == 0)
                 break;
         }
-        view.regions.push_back({i, std::min(j, view.code.size() - 1)});
+        view.regions.push_back({i, std::min(j, view.code.size() - 1),
+                                marker.parallel, marker.domain});
     }
     return view;
 }
 
 bool
-isSuppressed(const FileView &view, int line, const std::string &rule_id)
+lineInRanges(const std::vector<LineRange> &ranges, int line)
 {
-    for (const Suppression &s : view.suppressions) {
-        if (line >= s.first_line && line <= s.last_line &&
-            (s.rule == rule_id || s.rule == "*"))
+    for (const LineRange &r : ranges) {
+        if (line >= r.first_line && line <= r.last_line)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Domain owning the token at code index `idx`: the innermost enclosing
+ * `// isol: domain()` region, else the file-level domain (possibly "").
+ */
+std::string
+domainAt(const FileView &view, size_t idx)
+{
+    const Region *best = nullptr;
+    for (const Region &r : view.regions) {
+        if (r.domain.empty() || idx < r.begin || idx > r.end)
+            continue;
+        if (best == nullptr || r.begin > best->begin)
+            best = &r;
+    }
+    return best != nullptr ? best->domain : view.file_domain;
+}
+
+bool
+insideParallelRegion(const FileView &view, size_t idx)
+{
+    for (const Region &r : view.regions) {
+        if (r.parallel && idx > r.begin && idx < r.end)
             return true;
     }
     return false;
@@ -271,9 +409,59 @@ matchForward(const std::vector<Token> &code, size_t open,
     return std::string::npos;
 }
 
+/**
+ * Split the argument/parameter list between `open` ('(') and its
+ * matching ')' on top-level commas. Returns [first,one-past-last)
+ * token-index ranges; `*close_out` gets the ')' index.
+ */
+std::vector<std::pair<size_t, size_t>>
+splitTopLevel(const std::vector<Token> &code, size_t open,
+              size_t *close_out)
+{
+    std::vector<std::pair<size_t, size_t>> chunks;
+    size_t close = matchForward(code, open, "(", ")");
+    if (close_out != nullptr)
+        *close_out = close;
+    if (close == std::string::npos)
+        return chunks;
+    int depth = 0;
+    size_t start = open + 1;
+    for (size_t i = open + 1; i < close; ++i) {
+        const std::string &t = code[i].text;
+        if (t == "(" || t == "[" || t == "{" || t == "<")
+            ++depth;
+        else if (t == ")" || t == "]" || t == "}" || t == ">")
+            --depth;
+        else if (depth == 0 && t == ",") {
+            chunks.push_back({start, i});
+            start = i + 1;
+        }
+    }
+    if (start < close)
+        chunks.push_back({start, close});
+    return chunks;
+}
+
+/** Per-file rule output, merged in input order after the checks. */
+struct FileResult
+{
+    std::vector<Finding> findings;
+    std::vector<Finding> suppressed;
+};
+
+Suppression *
+findSuppression(FileView &view, int line, const std::string &rule_id)
+{
+    for (Suppression &s : view.suppressions) {
+        if (line >= s.first_line && line <= s.last_line &&
+            (s.rule == rule_id || s.rule == "*"))
+            return &s;
+    }
+    return nullptr;
+}
+
 void
-emit(std::vector<Finding> &findings, std::vector<Finding> &suppressed,
-     const FileView &view, int line, const char *rule_id,
+emit(FileResult &out, FileView &view, int line, const char *rule_id,
      std::string message)
 {
     Finding f;
@@ -282,13 +470,15 @@ emit(std::vector<Finding> &findings, std::vector<Finding> &suppressed,
     f.rule = rule_id;
     f.message = std::move(message);
     f.hint = rule(rule_id).hint;
-    if (isSuppressed(view, line, rule_id))
-        suppressed.push_back(std::move(f));
-    else
-        findings.push_back(std::move(f));
+    if (Suppression *s = findSuppression(view, line, rule_id)) {
+        s->used = true;
+        out.suppressed.push_back(std::move(f));
+    } else {
+        out.findings.push_back(std::move(f));
+    }
 }
 
-// --- D1: pointer-keyed unordered containers ---------------------------
+// --- Global program model (cross-TU registries) -----------------------
 
 struct ContainerDecl
 {
@@ -297,12 +487,82 @@ struct ContainerDecl
     int line;
 };
 
-/** Pass A: collect pointer-keyed unordered_{map,set} variable names. */
+/** One mutable namespace-scope / static declaration (D4 and P1). */
+struct MutableDecl
+{
+    std::string name;
+    int line = 0;
+    size_t token = 0; //!< code index of the statement's first token
+    bool namespace_scope = false;
+    bool thread_local_ = false;
+};
+
+/** P1 ownership-map entry: who owns one mutable symbol. */
+struct OwnedSymbol
+{
+    std::string name;
+    std::string file;
+    std::string domain;
+    int line = 0;
+    size_t view = 0; //!< index into the view vector
+    bool shared = false; //!< `// isol: shared()` sanctioned
+};
+
+/** U1 registry: one collected function signature. */
+struct Signature
+{
+    std::string file;
+    size_t min_arity = 0; //!< params before the first defaulted one
+    std::vector<bool> is_time; //!< SimTime-typed parameter
+    std::vector<std::string> unit; //!< unit suffix of the param name
+    std::vector<std::string> param_name;
+};
+
+/** Facts one file contributes to the global model. */
+struct FileFacts
+{
+    std::vector<ContainerDecl> d1_decls;
+    std::vector<std::pair<int, std::string>> d1_decl_findings;
+    std::set<std::string> benign_names;
+    std::vector<MutableDecl> mutable_decls;
+    std::map<std::string, std::vector<Signature>> signatures;
+};
+
+struct GlobalModel
+{
+    std::map<std::string, ContainerDecl> containers_by_name;
+    std::set<std::string> benign_names;
+    std::map<std::string, std::vector<OwnedSymbol>> owned;
+    std::map<std::string, std::vector<Signature>> signatures;
+    /** reach[i] = view indexes transitively included by view i
+     *  (always contains i itself). */
+    std::vector<std::set<size_t>> reach;
+};
+
+const std::set<std::string> &
+unitSuffixes()
+{
+    static const std::set<std::string> kSuffixes = {
+        "ns", "us", "ms", "sec", "bytes", "sectors", "lba"};
+    return kSuffixes;
+}
+
+/** Unit suffix of an identifier (`delay_us` -> "us"), or "". */
+std::string
+unitSuffix(const std::string &name)
+{
+    size_t us = name.rfind('_');
+    if (us == std::string::npos || us + 1 >= name.size())
+        return "";
+    std::string tail = name.substr(us + 1);
+    return unitSuffixes().count(tail) != 0 ? tail : "";
+}
+
+// --- D1: pointer-keyed unordered containers ---------------------------
+
+/** Collect pointer-keyed unordered_{map,set} declarations + findings. */
 void
-collectPointerKeyedContainers(const FileView &view,
-                              std::vector<ContainerDecl> &decls,
-                              std::vector<Finding> &findings,
-                              std::vector<Finding> &suppressed)
+collectPointerKeyedContainers(const FileView &view, FileFacts &facts)
 {
     const std::vector<Token> &code = view.code;
     for (size_t i = 0; i + 1 < code.size(); ++i) {
@@ -326,21 +586,23 @@ collectPointerKeyedContainers(const FileView &view,
         if (after + 1 < code.size() && code[after + 1].text == "(")
             continue; // function declaration returning the container
 
-        decls.push_back({code[after].text, view.path, code[after].line});
-        emit(findings, suppressed, view, code[i].line, "D1",
+        facts.d1_decls.push_back(
+            {code[after].text, view.path, code[after].line});
+        facts.d1_decl_findings.push_back(
+            {code[i].line,
              "'" + code[after].text +
                  "' is a pointer-keyed unordered container; its "
                  "iteration order is heap-address order and differs "
-                 "across runs");
+                 "across runs"});
     }
 }
 
 /**
- * Pass A': collect names that are *also* declared as a deterministic
- * container somewhere in the set. A name with both a pointer-keyed
- * unordered declaration and a benign one is ambiguous, and iteration
- * in a file other than the unordered declaration's is not flagged —
- * otherwise a `deque<T> states_` in one class would be blamed for an
+ * Collect names that are *also* declared as a deterministic container
+ * somewhere in the set. A name with both a pointer-keyed unordered
+ * declaration and a benign one is ambiguous, and iteration in a file
+ * other than the unordered declaration's is not flagged — otherwise a
+ * `deque<T> states_` in one class would be blamed for an
  * `unordered_map<K*,V> states_` in another.
  */
 void
@@ -349,7 +611,7 @@ collectBenignContainerNames(const FileView &view,
 {
     static const std::set<std::string> kOrderedContainers = {
         "vector", "deque", "list", "forward_list", "array",
-        "map", "set", "multimap", "multiset", "span"};
+        "map", "set", "multimap", "multiset", "span", "RingDeque"};
     const std::vector<Token> &code = view.code;
     for (size_t i = 0; i + 1 < code.size(); ++i) {
         if (code[i].kind != TokKind::kIdent ||
@@ -366,16 +628,14 @@ collectBenignContainerNames(const FileView &view,
     }
 }
 
-/** Pass B: flag iteration over any registered container name. */
+/** Flag iteration over any registered pointer-keyed container name. */
 void
-checkD1Iteration(const FileView &view,
-                 const std::map<std::string, ContainerDecl> &by_name,
-                 const std::set<std::string> &benign,
-                 std::vector<Finding> &findings,
-                 std::vector<Finding> &suppressed)
+checkD1Iteration(FileView &view, const GlobalModel &model,
+                 FileResult &out)
 {
     auto ambiguous = [&](const ContainerDecl &d, const std::string &name) {
-        return d.file != view.path && benign.count(name) != 0;
+        return d.file != view.path &&
+               model.benign_names.count(name) != 0;
     };
     const std::vector<Token> &code = view.code;
     for (size_t i = 0; i < code.size(); ++i) {
@@ -407,10 +667,10 @@ checkD1Iteration(const FileView &view,
                 if (code[k].kind == TokKind::kIdent)
                     last_ident = code[k].text;
             }
-            auto it = by_name.find(last_ident);
-            if (!has_call && it != by_name.end() &&
+            auto it = model.containers_by_name.find(last_ident);
+            if (!has_call && it != model.containers_by_name.end() &&
                 !ambiguous(it->second, last_ident)) {
-                emit(findings, suppressed, view, code[i].line, "D1",
+                emit(out, view, code[i].line, "D1",
                      "range-for over pointer-keyed unordered container '" +
                          last_ident + "' (declared at " + it->second.file +
                          ":" + std::to_string(it->second.line) +
@@ -423,10 +683,10 @@ checkD1Iteration(const FileView &view,
             code[i + 1].text == "." &&
             (isIdent(code[i + 2], "begin") ||
              isIdent(code[i + 2], "cbegin"))) {
-            auto it = by_name.find(code[i].text);
-            if (it != by_name.end() &&
+            auto it = model.containers_by_name.find(code[i].text);
+            if (it != model.containers_by_name.end() &&
                 !ambiguous(it->second, code[i].text)) {
-                emit(findings, suppressed, view, code[i].line, "D1",
+                emit(out, view, code[i].line, "D1",
                      "iterator walk over pointer-keyed unordered "
                      "container '" +
                          code[i].text + "' (declared at " +
@@ -441,8 +701,7 @@ checkD1Iteration(const FileView &view,
 // --- D2: wall clock and ambient entropy -------------------------------
 
 void
-checkD2(const FileView &view, std::vector<Finding> &findings,
-        std::vector<Finding> &suppressed)
+checkD2(FileView &view, FileResult &out)
 {
     if (pathIsRngHeader(view.path))
         return;
@@ -459,7 +718,7 @@ checkD2(const FileView &view, std::vector<Finding> &findings,
         if (t.kind != TokKind::kIdent)
             continue;
         if (kClockTypes.count(t.text) != 0) {
-            emit(findings, suppressed, view, t.line, "D2",
+            emit(out, view, t.line, "D2",
                  "'" + t.text +
                      "' reads ambient time/entropy; simulation state "
                      "must come from Simulator::now() or the seeded Rng");
@@ -484,7 +743,7 @@ checkD2(const FileView &view, std::vector<Finding> &findings,
                 if (prev == "*" || prev == "&" || prev == ">")
                     continue; // `int *time(...)`-style declarator
             }
-            emit(findings, suppressed, view, t.line, "D2",
+            emit(out, view, t.line, "D2",
                  "call to '" + t.text +
                      "()' injects wall-clock/entropy into the run");
         }
@@ -494,8 +753,7 @@ checkD2(const FileView &view, std::vector<Finding> &findings,
 // --- D3: pointer comparisons in comparators ---------------------------
 
 void
-checkD3(const FileView &view, std::vector<Finding> &findings,
-        std::vector<Finding> &suppressed)
+checkD3(FileView &view, FileResult &out)
 {
     const std::vector<Token> &code = view.code;
     static const std::set<std::string> kCmp = {"<", ">", "<=", ">="};
@@ -507,7 +765,7 @@ checkD3(const FileView &view, std::vector<Finding> &findings,
             bool any_ptr = false;
             scanTemplateArgs(code, i + 1, nullptr, &any_ptr);
             if (any_ptr) {
-                emit(findings, suppressed, view, code[i].line, "D3",
+                emit(out, view, code[i].line, "D3",
                      "std::less over a pointer type orders by address");
             }
             continue;
@@ -583,21 +841,24 @@ checkD3(const FileView &view, std::vector<Finding> &findings,
                     after == "(" || after == "[")
                     continue;
             }
-            emit(findings, suppressed, view, code[k].line, "D3",
+            emit(out, view, code[k].line, "D3",
                  "comparator orders '" + lhs.text + "' and '" + rhs.text +
                      "' by pointer value");
         }
     }
 }
 
-// --- D4: mutable global / static state in src/ ------------------------
+// --- D4 / P1 fact collection: mutable global & static state -----------
 
-void
-checkD4(const FileView &view, std::vector<Finding> &findings,
-        std::vector<Finding> &suppressed)
+/**
+ * Scan a file for mutable namespace-scope or static/thread_local
+ * declarations. D4 emits them (src/ only); P1 registers the
+ * namespace-scope ones as domain-owned state.
+ */
+std::vector<MutableDecl>
+collectMutableDecls(const FileView &view)
 {
-    if (!pathHasSrcComponent(view.path))
-        return;
+    std::vector<MutableDecl> out;
     const std::vector<Token> &code = view.code;
 
     enum class ScopeKind { kNamespace, kClass, kFunction };
@@ -682,14 +943,8 @@ checkD4(const FileView &view, std::vector<Finding> &findings,
                 return;
             name = code[end - 1].text;
         }
-        const char *what = namespace_scope
-                               ? "mutable namespace-scope state"
-                               : (has_thread_local
-                                      ? "mutable thread_local state"
-                                      : "mutable static state");
-        emit(findings, suppressed, view, first.line, "D4",
-             std::string(what) + " '" + name +
-                 "' breaks shared-nothing sweep workers");
+        out.push_back({name, first.line, begin, namespace_scope,
+                       has_thread_local});
     };
 
     size_t stmt_start = 0;
@@ -742,20 +997,35 @@ checkD4(const FileView &view, std::vector<Finding> &findings,
             stmt_start = i + 1;
         }
     }
+    return out;
 }
 
-// --- D5: float accumulation inside parallel regions -------------------
-
 void
-checkD5(const FileView &view, std::vector<Finding> &findings,
-        std::vector<Finding> &suppressed)
+checkD4(FileView &view, const std::vector<MutableDecl> &decls,
+        FileResult &out)
 {
-    if (view.regions.empty())
+    if (!pathHasSrcComponent(view.path))
         return;
-    const std::vector<Token> &code = view.code;
+    for (const MutableDecl &d : decls) {
+        const char *what = d.namespace_scope
+                               ? "mutable namespace-scope state"
+                               : (d.thread_local_
+                                      ? "mutable thread_local state"
+                                      : "mutable static state");
+        emit(out, view, d.line, "D4",
+             std::string(what) + " '" + d.name +
+                 "' breaks shared-nothing sweep workers");
+    }
+}
 
-    // All float/double variable declarations, by name -> token indexes.
+// --- D5 / P3: order-dependent accumulation ----------------------------
+
+/** Float/double variable declarations, by name -> decl token indexes. */
+std::map<std::string, std::vector<size_t>>
+collectFloatDecls(const FileView &view)
+{
     std::map<std::string, std::vector<size_t>> fp_decls;
+    const std::vector<Token> &code = view.code;
     for (size_t i = 0; i + 1 < code.size(); ++i) {
         if (!isIdent(code[i], "double") && !isIdent(code[i], "float"))
             continue;
@@ -765,67 +1035,562 @@ checkD5(const FileView &view, std::vector<Finding> &findings,
             continue; // function returning double
         fp_decls[code[i + 1].text].push_back(i);
     }
+    return fp_decls;
+}
+
+/** Container variable declarations, by name -> decl token indexes. */
+std::map<std::string, std::vector<size_t>>
+collectContainerDecls(const FileView &view)
+{
+    static const std::set<std::string> kContainers = {
+        "vector", "deque", "list", "forward_list", "map", "set",
+        "multimap", "multiset", "string", "unordered_map",
+        "unordered_set", "unordered_multimap", "unordered_multiset",
+        "RingDeque"};
+    std::map<std::string, std::vector<size_t>> decls;
+    const std::vector<Token> &code = view.code;
+    for (size_t i = 0; i + 1 < code.size(); ++i) {
+        if (code[i].kind != TokKind::kIdent ||
+            kContainers.count(code[i].text) == 0)
+            continue;
+        size_t after = i + 1;
+        if (code[after].text == "<")
+            after = scanTemplateArgs(code, after, nullptr, nullptr);
+        if (after >= code.size() || code[after].kind != TokKind::kIdent)
+            continue;
+        if (after + 1 < code.size() && code[after + 1].text == "(")
+            continue;
+        decls[code[after].text].push_back(i);
+    }
+    return decls;
+}
+
+/**
+ * Walk back from the compound-assignment / call token at `i` to the
+ * root identifier of the target expression (`total`, `this->total`,
+ * `acc.sum`, `slots[i].v`, ...). Returns "" when there is none.
+ */
+std::string
+rootIdentifierBefore(const std::vector<Token> &code, size_t i,
+                     size_t floor)
+{
+    size_t j = i;
+    std::string root;
+    while (j > floor) {
+        --j;
+        const std::string &t = code[j].text;
+        if (t == "]" || t == ")") {
+            const char *opn = t == "]" ? "[" : "(";
+            int d = 0;
+            while (j > floor) {
+                if (code[j].text == t)
+                    ++d;
+                else if (code[j].text == opn && --d == 0)
+                    break;
+                --j;
+            }
+            continue;
+        }
+        if (code[j].kind == TokKind::kIdent) {
+            root = code[j].text;
+            if (j > floor + 1 &&
+                (code[j - 1].text == "." || code[j - 1].text == "->" ||
+                 code[j - 1].text == "::")) {
+                --j;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    return root;
+}
+
+/** True when `name` is declared in `decls` before the region starts
+ *  and not re-declared inside the region before token `use`. */
+bool
+declaredOutsideRegion(const std::map<std::string, std::vector<size_t>> &decls,
+                      const std::string &name, const Region &region,
+                      size_t use)
+{
+    auto it = decls.find(name);
+    if (it == decls.end())
+        return false;
+    bool before = false;
+    bool inside = false;
+    for (size_t decl : it->second) {
+        if (decl < region.begin)
+            before = true;
+        else if (decl > region.begin && decl < use)
+            inside = true;
+    }
+    return before && !inside;
+}
+
+void
+checkD5(FileView &view, FileResult &out)
+{
+    bool any_parallel = false;
+    for (const Region &r : view.regions)
+        any_parallel = any_parallel || r.parallel;
+    if (!any_parallel)
+        return;
+    const std::vector<Token> &code = view.code;
+    std::map<std::string, std::vector<size_t>> fp_decls =
+        collectFloatDecls(view);
     if (fp_decls.empty())
         return;
 
     static const std::set<std::string> kAccum = {"+=", "-=", "*=", "/="};
     for (const Region &region : view.regions) {
+        if (!region.parallel)
+            continue;
         for (size_t i = region.begin + 1; i < region.end; ++i) {
             if (kAccum.count(code[i].text) == 0)
                 continue;
-            // Walk back to the root identifier of the left-hand side
-            // (`total`, `this->total`, `acc.sum`, `slots[i].v`, ...).
-            size_t j = i;
-            std::string root;
-            while (j > region.begin) {
-                --j;
-                const std::string &t = code[j].text;
-                if (t == "]" || t == ")") {
-                    const char *opn = t == "]" ? "[" : "(";
-                    int d = 0;
-                    while (j > region.begin) {
-                        if (code[j].text == t)
-                            ++d;
-                        else if (code[j].text == opn && --d == 0)
-                            break;
-                        --j;
-                    }
-                    continue;
-                }
-                if (code[j].kind == TokKind::kIdent) {
-                    root = code[j].text;
-                    if (j > region.begin + 1 &&
-                        (code[j - 1].text == "." ||
-                         code[j - 1].text == "->" ||
-                         code[j - 1].text == "::")) {
-                        --j;
-                        continue;
-                    }
-                    break;
-                }
-                break;
-            }
-            if (root.empty())
+            if (lineInRanges(view.merge_ordered_lines, code[i].line))
                 continue;
-            auto it = fp_decls.find(root);
-            if (it == fp_decls.end())
+            std::string root =
+                rootIdentifierBefore(code, i, region.begin);
+            if (root.empty() ||
+                !declaredOutsideRegion(fp_decls, root, region, i))
                 continue;
-            bool declared_before = false;
-            bool declared_inside = false;
-            for (size_t decl : it->second) {
-                if (decl < region.begin)
-                    declared_before = true;
-                else if (decl > region.begin && decl < i)
-                    declared_inside = true;
-            }
-            if (!declared_before || declared_inside)
-                continue; // region-local accumulator is fine
-            emit(findings, suppressed, view, code[i].line, "D5",
+            emit(out, view, code[i].line, "D5",
                  "floating-point accumulation into '" + root +
                      "' declared outside the parallel region: summation "
                      "order depends on worker scheduling");
         }
     }
+}
+
+/**
+ * P3: container pushes (any region kind) and float accumulation
+ * (domain regions; parallel-region floats stay D5's) into state
+ * declared outside the region, without a merge-ordered marker.
+ */
+void
+checkP3(FileView &view, FileResult &out)
+{
+    if (view.regions.empty())
+        return;
+    const std::vector<Token> &code = view.code;
+    std::map<std::string, std::vector<size_t>> fp_decls =
+        collectFloatDecls(view);
+    std::map<std::string, std::vector<size_t>> container_decls =
+        collectContainerDecls(view);
+
+    static const std::set<std::string> kPush = {
+        "push_back", "emplace_back", "push_front", "emplace_front",
+        "push", "emplace", "insert", "append"};
+    static const std::set<std::string> kAccum = {"+=", "-=", "*=", "/="};
+
+    for (const Region &region : view.regions) {
+        const bool domain_region = !region.domain.empty();
+        if (!region.parallel && !domain_region)
+            continue;
+        const char *where = domain_region ? "domain" : "parallel";
+        for (size_t i = region.begin + 1; i < region.end; ++i) {
+            if (lineInRanges(view.merge_ordered_lines, code[i].line))
+                continue;
+            // Container push: `target.push_back(...)`.
+            if (code[i].kind == TokKind::kIdent &&
+                kPush.count(code[i].text) != 0 && i + 1 < code.size() &&
+                code[i + 1].text == "(" && i > region.begin + 1 &&
+                (code[i - 1].text == "." || code[i - 1].text == "->")) {
+                std::string root =
+                    rootIdentifierBefore(code, i - 1, region.begin);
+                if (!root.empty() &&
+                    declaredOutsideRegion(container_decls, root, region,
+                                          i)) {
+                    emit(out, view, code[i].line, "P3",
+                         "'" + code[i].text + "' into container '" +
+                             root + "' declared outside the " + where +
+                             " region: element order depends on "
+                             "execution interleaving (mark `// isol: "
+                             "merge-ordered` if the merge layer sorts)");
+                }
+                continue;
+            }
+            // Float accumulation inside domain regions (parallel
+            // regions keep the historical D5 id for this hazard).
+            if (domain_region && kAccum.count(code[i].text) != 0) {
+                std::string root =
+                    rootIdentifierBefore(code, i, region.begin);
+                if (!root.empty() &&
+                    declaredOutsideRegion(fp_decls, root, region, i)) {
+                    emit(out, view, code[i].line, "P3",
+                         "floating-point accumulation into '" + root +
+                             "' declared outside the domain region: "
+                             "the shard merge order decides the sum");
+                }
+            }
+        }
+    }
+}
+
+// --- P1: cross-domain mutable-state references ------------------------
+
+void
+checkP1(FileView &view, size_t view_idx, const GlobalModel &model,
+        FileResult &out)
+{
+    if (model.owned.empty())
+        return;
+    const std::vector<Token> &code = view.code;
+    for (size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code[i];
+        if (t.kind != TokKind::kIdent)
+            continue;
+        auto it = model.owned.find(t.text);
+        if (it == model.owned.end())
+            continue;
+        if (i > 0 &&
+            (code[i - 1].text == "." || code[i - 1].text == "->"))
+            continue; // member access, not the namespace-scope symbol
+        std::string my_domain = domainAt(view, i);
+        if (my_domain.empty())
+            continue; // un-annotated code is outside the sharding plan
+        bool same_domain_candidate = false;
+        const OwnedSymbol *foreign = nullptr;
+        for (const OwnedSymbol &sym : it->second) {
+            if (sym.view == view_idx && sym.line == t.line)
+                continue; // the declaration itself
+            if (sym.domain == my_domain) {
+                same_domain_candidate = true;
+                break;
+            }
+            if (!sym.shared && foreign == nullptr &&
+                model.reach[view_idx].count(sym.view) != 0)
+                foreign = &sym;
+        }
+        if (same_domain_candidate || foreign == nullptr)
+            continue;
+        emit(out, view, t.line, "P1",
+             "'" + t.text + "' is mutable state owned by domain '" +
+                 foreign->domain + "' (" + foreign->file + ":" +
+                 std::to_string(foreign->line) +
+                 ") but referenced from domain '" + my_domain +
+                 "': a shard must not reach into another shard's state");
+    }
+}
+
+// --- P2: by-reference captures escaping into deferred callbacks -------
+
+void
+checkP2(FileView &view, size_t view_idx, const GlobalModel &model,
+        FileResult &out)
+{
+    const std::vector<Token> &code = view.code;
+    static const std::set<std::string> kSinks = {"at", "after",
+                                                 "schedule", "defer",
+                                                 "post"};
+    for (size_t i = 0; i + 1 < code.size(); ++i) {
+        if (code[i].kind != TokKind::kIdent ||
+            kSinks.count(code[i].text) == 0 || code[i + 1].text != "(")
+            continue;
+        if (i > 0 && code[i - 1].kind == TokKind::kIdent)
+            continue; // declaration of a function with a sink name
+        bool in_scope = !domainAt(view, i).empty() ||
+                        insideParallelRegion(view, i);
+        if (!in_scope)
+            continue;
+        size_t close = std::string::npos;
+        auto chunks = splitTopLevel(code, i + 1, &close);
+        for (const auto &[begin, end] : chunks) {
+            if (begin >= end || code[begin].text != "[")
+                continue; // not a lambda argument
+            size_t cap_close = matchForward(code, begin, "[", "]");
+            if (cap_close == std::string::npos || cap_close >= end)
+                continue;
+            // Walk the capture list's top-level elements.
+            size_t k = begin + 1;
+            int depth = 0;
+            bool elem_start = true;
+            while (k < cap_close) {
+                const std::string &txt = code[k].text;
+                if (txt == "[" || txt == "(" || txt == "{") {
+                    ++depth;
+                } else if (txt == "]" || txt == ")" || txt == "}") {
+                    --depth;
+                } else if (depth == 0 && txt == ",") {
+                    elem_start = true;
+                    ++k;
+                    continue;
+                }
+                if (depth == 0 && elem_start && txt == "&") {
+                    bool named = k + 1 < cap_close &&
+                                 code[k + 1].kind == TokKind::kIdent;
+                    if (!named) {
+                        emit(out, view, code[k].line, "P2",
+                             "deferred callback passed to '" +
+                                 code[i].text +
+                                 "()' default-captures by reference; "
+                                 "the callback outlives this frame");
+                    } else {
+                        const std::string &cap = code[k + 1].text;
+                        auto oit = model.owned.find(cap);
+                        if (oit != model.owned.end()) {
+                            std::string my_domain = domainAt(view, k);
+                            for (const OwnedSymbol &sym : oit->second) {
+                                if (sym.shared ||
+                                    sym.domain == my_domain ||
+                                    model.reach[view_idx].count(
+                                        sym.view) == 0)
+                                    continue;
+                                emit(out, view, code[k].line, "P2",
+                                     "deferred callback by-reference "
+                                     "captures '" +
+                                         cap + "' owned by domain '" +
+                                         sym.domain + "' (" + sym.file +
+                                         ":" +
+                                         std::to_string(sym.line) +
+                                         ")");
+                                break;
+                            }
+                        }
+                    }
+                }
+                elem_start = false;
+                ++k;
+            }
+        }
+    }
+}
+
+// --- U1: unit-safety at call boundaries -------------------------------
+
+/** Collect unit-carrying function signatures from parameter lists. */
+void
+collectSignatures(const FileView &view, FileFacts &facts)
+{
+    const std::vector<Token> &code = view.code;
+    static const std::set<std::string> kNotFunctions = {
+        "if", "for", "while", "switch", "return", "sizeof", "catch",
+        "alignof", "decltype", "noexcept", "static_assert", "assert"};
+    for (size_t i = 0; i + 1 < code.size(); ++i) {
+        if (code[i].kind != TokKind::kIdent ||
+            kNotFunctions.count(code[i].text) != 0 ||
+            code[i + 1].text != "(")
+            continue;
+        auto chunks = splitTopLevel(code, i + 1, nullptr);
+        if (chunks.empty())
+            continue;
+
+        Signature sig;
+        sig.file = view.path;
+        bool all_param_shaped = true;
+        bool any_unit = false;
+        sig.min_arity = chunks.size();
+        for (size_t c = 0; c < chunks.size(); ++c) {
+            auto [begin, end] = chunks[c];
+            bool is_time = false;
+            bool defaulted = false;
+            size_t ident_count = 0;
+            std::string last_ident;
+            bool shaped = begin < end;
+            for (size_t k = begin; k < end; ++k) {
+                const Token &t = code[k];
+                if (t.text == "=") {
+                    defaulted = true;
+                    break; // default argument: rest is an expression
+                }
+                if (t.kind == TokKind::kIdent) {
+                    ++ident_count;
+                    last_ident = t.text;
+                    if (t.text == "SimTime")
+                        is_time = true;
+                    continue;
+                }
+                if (t.kind == TokKind::kNumber)
+                    continue;
+                static const std::set<std::string> kDeclPunct = {
+                    "::", "<", ">", ">>", "*", "&", "&&", "[", "]",
+                    "...", "."};
+                if (t.kind != TokKind::kPunct ||
+                    kDeclPunct.count(t.text) == 0) {
+                    shaped = false;
+                    break;
+                }
+            }
+            if (!shaped || ident_count < 2) {
+                // `foo(SimTime)` — unnamed param — still counts as a
+                // parameter declaration shape-wise, but carries no
+                // name to unit-check; other shapes disqualify.
+                if (!(shaped && ident_count == 1)) {
+                    all_param_shaped = false;
+                    break;
+                }
+                last_ident.clear();
+            }
+            if (defaulted && c < sig.min_arity)
+                sig.min_arity = c;
+            std::string suffix =
+                ident_count >= 2 ? unitSuffix(last_ident) : "";
+            sig.is_time.push_back(is_time);
+            sig.unit.push_back(suffix);
+            sig.param_name.push_back(ident_count >= 2 ? last_ident
+                                                      : "");
+            any_unit = any_unit || is_time || !suffix.empty();
+        }
+        if (!all_param_shaped || !any_unit)
+            continue;
+        facts.signatures[code[i].text].push_back(std::move(sig));
+    }
+}
+
+/** Integer value of a numeric literal token (0 on parse failure). */
+unsigned long long
+literalValue(const std::string &text)
+{
+    std::string cleaned;
+    for (char c : text) {
+        if (c != '\'')
+            cleaned += c;
+    }
+    return std::strtoull(cleaned.c_str(), nullptr, 0);
+}
+
+void
+checkU1(FileView &view, const GlobalModel &model, FileResult &out)
+{
+    const std::vector<Token> &code = view.code;
+    static const std::set<std::string> kCallContexts = {
+        "return", "co_return", "case", "else", "do"};
+    for (size_t i = 0; i + 1 < code.size(); ++i) {
+        if (code[i].kind != TokKind::kIdent ||
+            code[i + 1].text != "(")
+            continue;
+        auto sit = model.signatures.find(code[i].text);
+        if (sit == model.signatures.end())
+            continue;
+        if (i > 0) {
+            const std::string &prev = code[i - 1].text;
+            if (code[i - 1].kind == TokKind::kIdent &&
+                kCallContexts.count(prev) == 0)
+                continue; // `EventId after(...)` — a declaration
+            if (prev == ">" || prev == "*" || prev == "&")
+                continue; // declarator / template return type
+        }
+        auto chunks = splitTopLevel(code, i + 1, nullptr);
+        for (size_t p = 0; p < chunks.size(); ++p) {
+            auto [begin, end] = chunks[p];
+            if (end != begin + 1)
+                continue; // only single-token arguments are judged
+            const Token &arg = code[begin];
+
+            // Verdicts must be unanimous across all signatures of this
+            // name that the call's arity can bind to.
+            size_t matched = 0;
+            size_t time_votes = 0;
+            std::set<std::string> target_units;
+            std::set<std::string> target_params;
+            for (const Signature &sig : sit->second) {
+                if (chunks.size() < sig.min_arity ||
+                    chunks.size() > sig.is_time.size())
+                    continue;
+                ++matched;
+                if (sig.is_time[p])
+                    ++time_votes;
+                std::string unit = sig.unit[p];
+                if (unit.empty() && sig.is_time[p])
+                    unit = "ns"; // SimTime's contract is nanoseconds
+                target_units.insert(unit);
+                if (!sig.param_name[p].empty())
+                    target_params.insert(sig.param_name[p]);
+            }
+            if (matched == 0)
+                continue;
+            std::string pname = target_params.empty()
+                                    ? std::string("#") +
+                                          std::to_string(p + 1)
+                                    : *target_params.begin();
+
+            if (arg.kind == TokKind::kNumber &&
+                time_votes == matched &&
+                literalValue(arg.text) != 0) {
+                emit(out, view, arg.line, "U1",
+                     "raw integer literal " + arg.text +
+                         " passed to SimTime parameter '" + pname +
+                         "' of " + code[i].text +
+                         "(): wrap it in nsToNs()/usToNs()/msToNs() so "
+                         "the unit is explicit");
+                continue;
+            }
+            if (arg.kind == TokKind::kIdent && target_units.size() == 1 &&
+                !target_units.begin()->empty()) {
+                const std::string &want = *target_units.begin();
+                std::string have = unitSuffix(arg.text);
+                if (!have.empty() && have != want) {
+                    emit(out, view, arg.line, "U1",
+                         "argument '" + arg.text + "' (unit _" + have +
+                             ") bound to parameter '" + pname +
+                             "' (unit _" + want + ") of " +
+                             code[i].text +
+                             "(): convert explicitly at the boundary");
+                }
+            }
+        }
+    }
+}
+
+// --- Parallel driver ---------------------------------------------------
+
+template <typename Fn>
+void
+forEachIndex(size_t n, unsigned jobs, Fn fn)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1))
+            fn(i);
+    };
+    size_t nthreads = std::min<size_t>(jobs, n);
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads - 1);
+    for (size_t t = 1; t < nthreads; ++t)
+        threads.emplace_back(worker);
+    worker();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+/** Resolve quoted includes against the file set (suffix matching). */
+std::vector<std::set<size_t>>
+computeReachability(const std::vector<FileView> &views)
+{
+    const size_t n = views.size();
+    std::vector<std::vector<size_t>> edges(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (const std::string &inc : views[i].includes) {
+            for (size_t j = 0; j < n; ++j) {
+                const std::string &p = views[j].path;
+                if (p == inc ||
+                    (p.size() > inc.size() + 1 &&
+                     p.compare(p.size() - inc.size(), inc.size(), inc) ==
+                         0 &&
+                     p[p.size() - inc.size() - 1] == '/'))
+                    edges[i].push_back(j);
+            }
+        }
+    }
+    std::vector<std::set<size_t>> reach(n);
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<size_t> stack = {i};
+        while (!stack.empty()) {
+            size_t v = stack.back();
+            stack.pop_back();
+            if (!reach[i].insert(v).second)
+                continue;
+            for (size_t w : edges[v])
+                stack.push_back(w);
+        }
+    }
+    return reach;
 }
 
 } // namespace
@@ -839,33 +1604,111 @@ ruleTable()
 LintResult
 lintFiles(const std::vector<FileInput> &files)
 {
+    return lintFiles(files, LintOptions{});
+}
+
+LintResult
+lintFiles(const std::vector<FileInput> &files, const LintOptions &options)
+{
     LintResult result;
+    const bool fam_d = options.families.count('D') != 0;
+    const bool fam_p = options.families.count('P') != 0;
+    const bool fam_u = options.families.count('U') != 0;
 
-    std::vector<FileView> views;
-    views.reserve(files.size());
-    for (const FileInput &f : files)
-        views.push_back(buildView(f));
+    // Phase 1+2 (parallel): per-file views and facts.
+    std::vector<FileView> views(files.size());
+    std::vector<FileFacts> facts(files.size());
+    forEachIndex(files.size(), options.jobs, [&](size_t i) {
+        views[i] = buildView(files[i]);
+        if (fam_d) {
+            collectPointerKeyedContainers(views[i], facts[i]);
+            collectBenignContainerNames(views[i],
+                                        facts[i].benign_names);
+        }
+        if (fam_d || fam_p)
+            facts[i].mutable_decls = collectMutableDecls(views[i]);
+        if (fam_u)
+            collectSignatures(views[i], facts[i]);
+    });
 
-    // D1 pass A across the whole set; declaration findings emitted here.
-    std::vector<ContainerDecl> decls;
-    for (const FileView &view : views) {
-        collectPointerKeyedContainers(view, decls, result.findings,
-                                      result.suppressed);
+    // Phase 3 (serial): the global program model.
+    GlobalModel model;
+    for (size_t i = 0; i < files.size(); ++i) {
+        for (const ContainerDecl &d : facts[i].d1_decls)
+            model.containers_by_name.emplace(d.name, d);
+        model.benign_names.insert(facts[i].benign_names.begin(),
+                                  facts[i].benign_names.end());
+        for (const auto &[name, sigs] : facts[i].signatures) {
+            auto &dst = model.signatures[name];
+            dst.insert(dst.end(), sigs.begin(), sigs.end());
+        }
+        if (fam_p) {
+            for (const MutableDecl &d : facts[i].mutable_decls) {
+                if (!d.namespace_scope)
+                    continue; // only globally reachable state shards
+                std::string domain = domainAt(views[i], d.token);
+                if (domain.empty())
+                    continue; // file is outside the ownership map
+                model.owned[d.name].push_back(
+                    {d.name, views[i].path, domain, d.line, i,
+                     lineInRanges(views[i].shared_lines, d.line)});
+            }
+        }
     }
-    std::map<std::string, ContainerDecl> by_name;
-    for (const ContainerDecl &d : decls)
-        by_name.emplace(d.name, d);
-    std::set<std::string> benign;
-    for (const FileView &view : views)
-        collectBenignContainerNames(view, benign);
+    model.reach = fam_p ? computeReachability(views)
+                        : std::vector<std::set<size_t>>(views.size());
 
-    for (const FileView &view : views) {
-        checkD1Iteration(view, by_name, benign, result.findings,
-                         result.suppressed);
-        checkD2(view, result.findings, result.suppressed);
-        checkD3(view, result.findings, result.suppressed);
-        checkD4(view, result.findings, result.suppressed);
-        checkD5(view, result.findings, result.suppressed);
+    // Phase 4 (parallel): per-file rule checks.
+    std::vector<FileResult> outs(files.size());
+    forEachIndex(files.size(), options.jobs, [&](size_t i) {
+        FileView &view = views[i];
+        FileResult &out = outs[i];
+        if (fam_d) {
+            for (const auto &[line, message] :
+                 facts[i].d1_decl_findings)
+                emit(out, view, line, "D1", std::string(message));
+            checkD1Iteration(view, model, out);
+            checkD2(view, out);
+            checkD3(view, out);
+            checkD4(view, facts[i].mutable_decls, out);
+            checkD5(view, out);
+        }
+        if (fam_p) {
+            checkP1(view, i, model, out);
+            checkP2(view, i, model, out);
+            checkP3(view, out);
+        }
+        if (fam_u)
+            checkU1(view, model, out);
+    });
+
+    // Phase 5 (serial): merge in input order, then sort.
+    for (size_t i = 0; i < files.size(); ++i) {
+        result.findings.insert(result.findings.end(),
+                               outs[i].findings.begin(),
+                               outs[i].findings.end());
+        result.suppressed.insert(result.suppressed.end(),
+                                 outs[i].suppressed.begin(),
+                                 outs[i].suppressed.end());
+        for (const Suppression &s : views[i].suppressions) {
+            if (s.used)
+                continue;
+            bool reportable =
+                s.rule == "*"
+                    ? (fam_d && fam_p && fam_u)
+                    : options.families.count(s.rule[0]) != 0;
+            if (!reportable)
+                continue;
+            Finding f;
+            f.file = views[i].path;
+            f.line = s.comment_line;
+            f.rule = s.rule;
+            f.message = "suppression allow(" + s.rule +
+                        ") matched no finding; the hazard it justified "
+                        "is gone";
+            f.hint = "delete the stale allow() comment";
+            result.unused_suppressions.push_back(std::move(f));
+        }
     }
 
     auto order = [](const Finding &a, const Finding &b) {
@@ -875,8 +1718,12 @@ lintFiles(const std::vector<FileInput> &files)
             return a.line < b.line;
         return a.rule < b.rule;
     };
-    std::sort(result.findings.begin(), result.findings.end(), order);
-    std::sort(result.suppressed.begin(), result.suppressed.end(), order);
+    std::stable_sort(result.findings.begin(), result.findings.end(),
+                     order);
+    std::stable_sort(result.suppressed.begin(), result.suppressed.end(),
+                     order);
+    std::stable_sort(result.unused_suppressions.begin(),
+                     result.unused_suppressions.end(), order);
     return result;
 }
 

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SARIF 2.1.0 renderer for lint results.
+ *
+ * Hand-rolled (the repo is dependency-free) and deterministic: rules in
+ * table order, results in the result's (already path/line sorted)
+ * order, two-space indentation, no timestamps. GitHub code scanning
+ * ingests the document via codeql-action/upload-sarif; suppressed
+ * findings are emitted with an `inSource` suppression so the dashboard
+ * shows them as reviewed rather than open.
+ */
+
+#include "lint.hh"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace isol_lint
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendResult(std::ostringstream &out, const Finding &f,
+             const std::map<std::string, size_t> &rule_index,
+             bool suppressed, bool *first)
+{
+    if (!*first)
+        out << ",";
+    *first = false;
+    auto it = rule_index.find(f.rule);
+    size_t index = it != rule_index.end() ? it->second : 0;
+    out << "\n        {"
+        << "\n          \"ruleId\": \"" << jsonEscape(f.rule) << "\","
+        << "\n          \"ruleIndex\": " << index << ","
+        << "\n          \"level\": \"" << (suppressed ? "note" : "error")
+        << "\","
+        << "\n          \"message\": { \"text\": \""
+        << jsonEscape(f.message) << "\" },"
+        << "\n          \"locations\": [ {"
+        << "\n            \"physicalLocation\": {"
+        << "\n              \"artifactLocation\": { \"uri\": \""
+        << jsonEscape(f.file) << "\" },"
+        << "\n              \"region\": { \"startLine\": " << f.line
+        << " }"
+        << "\n            }"
+        << "\n          } ]";
+    if (suppressed)
+        out << ",\n          \"suppressions\": [ { \"kind\": "
+               "\"inSource\" } ]";
+    out << "\n        }";
+}
+
+} // namespace
+
+std::string
+sarifReport(const LintResult &result)
+{
+    const std::vector<RuleInfo> &rules = ruleTable();
+    std::map<std::string, size_t> rule_index;
+    for (size_t i = 0; i < rules.size(); ++i)
+        rule_index[rules[i].id] = i;
+
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0"
+           ".json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [ {\n"
+        << "    \"tool\": {\n"
+        << "      \"driver\": {\n"
+        << "        \"name\": \"isol_lint\",\n"
+        << "        \"informationUri\": "
+           "\"https://example.invalid/isol_lint\",\n"
+        << "        \"rules\": [";
+    for (size_t i = 0; i < rules.size(); ++i) {
+        out << (i == 0 ? "" : ",") << "\n          {"
+            << "\n            \"id\": \"" << jsonEscape(rules[i].id)
+            << "\","
+            << "\n            \"shortDescription\": { \"text\": \""
+            << jsonEscape(rules[i].summary) << "\" },"
+            << "\n            \"help\": { \"text\": \""
+            << jsonEscape(rules[i].hint) << "\" }"
+            << "\n          }";
+    }
+    out << "\n        ]\n"
+        << "      }\n"
+        << "    },\n"
+        << "    \"results\": [";
+    bool first = true;
+    for (const Finding &f : result.findings)
+        appendResult(out, f, rule_index, false, &first);
+    for (const Finding &f : result.suppressed)
+        appendResult(out, f, rule_index, true, &first);
+    out << (first ? "]" : "\n    ]") << "\n  } ]\n}\n";
+    return out.str();
+}
+
+} // namespace isol_lint

@@ -22,7 +22,12 @@ echo "== ASan/UBSan =="
 cmake -S "$SRC_DIR" -B "$ASAN_DIR" -DISOL_SANITIZE=address
 cmake --build "$ASAN_DIR" -j
 cmake --build "$ASAN_DIR" --target smoke
-"$ASAN_DIR/tools/isol_lint/isol_lint" --root "$SRC_DIR"
+if ! "$ASAN_DIR/tools/isol_lint/isol_lint" --root "$SRC_DIR" \
+        --rules D,P,U --report-unused-suppressions; then
+    echo "sanitize_smoke: isol_lint found violations (or stale" \
+        "suppressions); failing the smoke" >&2
+    exit 1
+fi
 "$ASAN_DIR/tools/isol_fuzz/isol_fuzz" --seeds 16 --jobs 4 \
     --check-invariants
 "$ASAN_DIR/tools/isol_fuzz/isol_fuzz" --seeds 2 --jobs 1 \
